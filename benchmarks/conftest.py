@@ -1,0 +1,84 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_*`` module regenerates one table or figure of the paper's
+evaluation section.  Expensive sweeps are computed once per session and
+shared; every benchmark prints its reproduced table (run with ``-s`` to
+see them inline; they are also written to ``benchmarks/out/``).
+
+Workloads are scaled-down versions of the paper's binaries (DESIGN.md
+documents the substitution); times are simulated cycles from the
+virtual-time runtime, so *shapes* (who wins, by what factor, where curves
+flatten) are the comparison target, not absolute numbers.
+"""
+
+from __future__ import annotations
+
+import math
+import os
+from statistics import geometric_mean
+
+import pytest
+
+from repro.apps.binfeat import binfeat
+from repro.apps.hpcstruct import hpcstruct
+from repro.runtime import VirtualTimeRuntime
+from repro.synth import forensics_corpus, hpcstruct_binaries
+
+#: Worker counts swept by the performance benchmarks (paper: Fig 3/Tab 3).
+WORKER_COUNTS = (1, 2, 4, 8, 16, 32, 64)
+
+#: Scale factor for the four hpcstruct binaries (paper sizes / ~1000).
+HPC_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
+
+OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
+
+
+def write_table(name: str, text: str) -> None:
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(os.path.join(OUT_DIR, name), "w") as f:
+        f.write(text)
+    print("\n" + text)
+
+
+def gmean(values) -> float:
+    return geometric_mean(values) if values else math.nan
+
+
+@pytest.fixture(scope="session")
+def hpc_binaries():
+    """The four Table 1 binaries (scaled)."""
+    return hpcstruct_binaries(scale=HPC_SCALE)
+
+
+@pytest.fixture(scope="session")
+def hpc_sweep(hpc_binaries):
+    """hpcstruct results: {(binary name, workers): HpcstructResult}."""
+    results = {}
+    for sb in hpc_binaries:
+        for n in WORKER_COUNTS:
+            rt = VirtualTimeRuntime(n)
+            results[(sb.name, n)] = hpcstruct(sb.binary, rt)
+    return results
+
+
+@pytest.fixture(scope="session")
+def forensic_corpus():
+    """The BinFeat corpus (504 binaries in the paper, scaled to 12)."""
+    return forensics_corpus(n_binaries=12, scale=0.5)
+
+
+@pytest.fixture(scope="session")
+def binfeat_sweep(forensic_corpus):
+    """BinFeat results per worker count."""
+    binaries = [sb.binary for sb in forensic_corpus]
+    results = {}
+    for n in WORKER_COUNTS:
+        rt = VirtualTimeRuntime(n)
+        results[n] = binfeat(binaries, rt)
+    return results
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)

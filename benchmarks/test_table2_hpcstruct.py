@@ -1,0 +1,76 @@
+"""Table 2: hpcstruct performance on the four large binaries.
+
+Paper (seconds, 1 -> 16 cores; TensorFlow also 32/64):
+
+    Binary      DWARF speedup  CFG speedup  hpcstruct speedup
+    LLNL1          11.47x         9.06x          7.82x
+    LLNL2          13.83x         8.99x          6.14x
+    Camellia        7.86x        11.42x          5.86x
+    TensorFlow     14.44x        25.22x (64t)    8.10x
+
+Reproduction target: DWARF and CFG phases speed up by high single digits
+to ~2x that at 16 workers; end-to-end hpcstruct trails both (serial
+phases); TensorFlow's CFG keeps scaling to 64 workers.
+"""
+
+from repro.apps.hpcstruct import hpcstruct
+from repro.runtime import VirtualTimeRuntime
+from repro.synth import tensorflow_like
+
+from conftest import HPC_SCALE, run_once, write_table
+
+
+def test_table2_hpcstruct_speedups(benchmark, hpc_binaries, hpc_sweep):
+    # The timed unit: one representative 16-worker run.
+    tf = next(sb for sb in hpc_binaries if "TensorFlow" in sb.name)
+    run_once(benchmark, hpcstruct, tf.binary, VirtualTimeRuntime(16))
+
+    lines = [f"Table 2 (reproduced): hpcstruct times, simulated cycles "
+             f"(scale={HPC_SCALE})",
+             f"{'Binary':<18} {'Cores':>5} {'DWARF':>12} {'CFG':>12} "
+             f"{'hpcstruct':>12}"]
+    speedups = {}
+    for sb in hpc_binaries:
+        rows = [1, 16] if "TensorFlow" not in sb.name else [1, 16, 32, 64]
+        base = hpc_sweep[(sb.name, 1)]
+        for n in rows:
+            r = hpc_sweep[(sb.name, n)]
+            lines.append(f"{sb.name:<18} {n:>5} {r.dwarf_time:>12,} "
+                         f"{r.cfg_time:>12,} {r.makespan:>12,}")
+        r16 = hpc_sweep[(sb.name, 16)]
+        sp = (base.dwarf_time / r16.dwarf_time,
+              base.cfg_time / r16.cfg_time,
+              base.makespan / r16.makespan)
+        speedups[sb.name] = sp
+        lines.append(f"{'':<18} {'Spd.':>5} {sp[0]:>11.2f}x "
+                     f"{sp[1]:>11.2f}x {sp[2]:>11.2f}x")
+    write_table("table2.txt", "\n".join(lines))
+
+    for name, (dwarf_sp, cfg_sp, total_sp) in speedups.items():
+        # Parallel phases scale well at 16 workers...
+        assert dwarf_sp > 4, (name, dwarf_sp)
+        assert cfg_sp > 4, (name, cfg_sp)
+        # ...and end-to-end trails the parallel phases (Amdahl).
+        assert total_sp < max(dwarf_sp, cfg_sp), name
+        assert 2 < total_sp <= 16, (name, total_sp)
+
+
+def test_table2_tensorflow_cfg_scales_to_64(benchmark, hpc_sweep):
+    name = "TensorFlow-like"
+    base = hpc_sweep[(name, 1)]
+    r64 = run_once(
+        benchmark, lambda: hpc_sweep[(name, 64)])
+    sp16 = base.cfg_time / hpc_sweep[(name, 16)].cfg_time
+    sp64 = base.cfg_time / r64.cfg_time
+    lines = [
+        "Table 2 (TensorFlow rows): CFG-construction scaling",
+        f"{'Cores':>5} {'CFG cycles':>12} {'speedup':>8}",
+    ]
+    for n in (1, 16, 32, 64):
+        r = hpc_sweep[(name, n)]
+        lines.append(f"{n:>5} {r.cfg_time:>12,} "
+                     f"{base.cfg_time / r.cfg_time:>7.2f}x")
+    write_table("table2_tf_cfg.txt", "\n".join(lines))
+    # Paper: 25.2x at 64 threads, still improving past 16.
+    assert sp64 > sp16
+    assert sp64 > 10

@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Vulnerability-style clone search across binaries (Section 9).
+
+The paper's discussion notes that binary code similarity — used to match
+known-vulnerable functions across software — builds on the same analysis
+capabilities the paper parallelized (instructions, control flow, data
+flow).  This example fingerprints every function of a small corpus in
+parallel, then finds cross-binary clones of a "known vulnerable"
+function.
+
+Run:  python examples/clone_search.py
+"""
+
+from repro import VirtualTimeRuntime
+from repro.apps.similarity import build_index
+from repro.synth import tiny_binary
+
+
+def main() -> None:
+    # libB is a rebuild of libA (same seed): every function has a clone.
+    corpus = [
+        tiny_binary(seed=31, n_functions=20, name="libA-1.0.so").binary,
+        tiny_binary(seed=31, n_functions=20, name="libB-fork.so").binary,
+        tiny_binary(seed=90, n_functions=20, name="unrelated.so").binary,
+    ]
+
+    rt = VirtualTimeRuntime(8)
+    built = build_index(corpus, rt)
+    print(f"indexed {built.n_functions} functions from "
+          f"{len(corpus)} binaries "
+          f"({built.makespan:,} simulated cycles on 8 workers)")
+
+    # Pretend this libA function is known-vulnerable; hunt its clones.
+    needle = max((fp for fp in built.index.fingerprints
+                  if fp.binary == "libA-1.0.so"),
+                 key=lambda fp: len(fp.features))
+    print(f"\nsearching for clones of {needle.name} "
+          f"({needle.binary} @{needle.entry:#x})")
+
+    rt2 = VirtualTimeRuntime(8)
+    matches = rt2.run(lambda: built.index.query(needle, rt2, top_k=5))
+    print(f"{'score':>7}  {'binary':<16} {'function':<24} entry")
+    for m in matches:
+        fp = m.fingerprint
+        print(f"{m.score:>7.3f}  {fp.binary:<16} {fp.name:<24} "
+              f"{fp.entry:#x}")
+
+    best = matches[0]
+    assert best.score > 0.999 and best.fingerprint.binary == "libB-fork.so"
+    print("\ntop match is the fork's identical clone — found via the "
+          "parallel instruction/control-flow/data-flow fingerprints.")
+
+
+if __name__ == "__main__":
+    main()

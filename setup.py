@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+``pip install -e .`` requires the ``wheel`` package (PEP 660 editable
+builds); on offline machines without it, ``python setup.py develop`` installs
+an equivalent editable egg-link using nothing but setuptools.  All project
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,70 @@
+"""repro: a reproduction of "Parallel Binary Code Analysis" (PPoPP 2021).
+
+Quick start::
+
+    from repro import tiny_binary, parse_binary, VirtualTimeRuntime
+
+    sb = tiny_binary()                       # synthesize a binary
+    rt = VirtualTimeRuntime(8)               # 8 simulated workers
+    cfg = parse_binary(sb.binary, rt)        # parallel CFG construction
+    print(cfg.stats.n_functions, rt.makespan)
+
+Package map:
+
+- :mod:`repro.isa` — synthetic instruction set + decoder;
+- :mod:`repro.binary` — binary container, symbols, debug info;
+- :mod:`repro.synth` — workload generator with ground truth;
+- :mod:`repro.runtime` — serial / real-thread / virtual-time runtimes;
+- :mod:`repro.core` — the paper's contribution: formal CFG operations and
+  the parallel CFG construction algorithm;
+- :mod:`repro.analyses` — loops, liveness, stack height, slicing;
+- :mod:`repro.apps` — hpcstruct, BinFeat, the correctness checker.
+"""
+
+from repro.core import (
+    EdgeType,
+    ParseOptions,
+    ParsedCFG,
+    ReturnStatus,
+    parse_binary,
+)
+from repro.runtime import (
+    SerialRuntime,
+    ThreadRuntime,
+    VirtualTimeRuntime,
+    make_runtime,
+)
+from repro.synth import (
+    camellia_like,
+    forensics_corpus,
+    llnl1_like,
+    llnl2_like,
+    synthesize,
+    tensorflow_like,
+    tiny_binary,
+)
+from repro.binary import load_image, save_image
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "EdgeType",
+    "ParseOptions",
+    "ParsedCFG",
+    "ReturnStatus",
+    "parse_binary",
+    "SerialRuntime",
+    "ThreadRuntime",
+    "VirtualTimeRuntime",
+    "make_runtime",
+    "tiny_binary",
+    "llnl1_like",
+    "llnl2_like",
+    "camellia_like",
+    "tensorflow_like",
+    "forensics_corpus",
+    "synthesize",
+    "load_image",
+    "save_image",
+    "__version__",
+]

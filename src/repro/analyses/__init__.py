@@ -1,0 +1,36 @@
+"""Read-only intra-procedural analyses (the paper's AC2–AC6).
+
+These run *after* CFG construction, when the CFG is read-only and
+different workers can analyze different functions independently without
+synchronization — the application parallelization pattern of Listing 7:
+
+- :mod:`repro.analyses.dataflow` — generic worklist solver;
+- :mod:`repro.analyses.dominators` — iterative dominator trees;
+- :mod:`repro.analyses.loops` — natural-loop detection and nesting (AC2);
+- :mod:`repro.analyses.liveness` — register liveness (AC6);
+- :mod:`repro.analyses.stack_height` — stack-pointer height analysis;
+- :mod:`repro.analyses.slicing` — backward slicing over registers.
+"""
+
+from repro.analyses.dataflow import DataflowProblem, solve_dataflow
+from repro.analyses.dominators import dominator_tree, immediate_dominators
+from repro.analyses.loops import Loop, LoopForest, find_loops
+from repro.analyses.liveness import LivenessResult, liveness
+from repro.analyses.stack_height import StackHeightResult, stack_heights, TOP
+from repro.analyses.slicing import backward_slice
+
+__all__ = [
+    "DataflowProblem",
+    "solve_dataflow",
+    "immediate_dominators",
+    "dominator_tree",
+    "Loop",
+    "LoopForest",
+    "find_loops",
+    "LivenessResult",
+    "liveness",
+    "StackHeightResult",
+    "stack_heights",
+    "TOP",
+    "backward_slice",
+]

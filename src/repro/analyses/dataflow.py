@@ -1,0 +1,114 @@
+"""Generic iterative dataflow solver over a function's blocks.
+
+Facts are arbitrary values combined with a caller-supplied meet; transfer
+functions map a block's input fact to its output fact.  The solver runs a
+standard worklist to a fixed point.  Register-set problems use Python
+integers as bit vectors (bit i = register i), which makes meet/transfer
+cheap and hashable.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.analyses.common import (
+    function_blocks,
+    intra_predecessors,
+    intra_successors,
+    member_set,
+)
+from repro.core.cfg import Block, Function
+from repro.runtime.api import Runtime
+
+
+class Direction(enum.Enum):
+    FORWARD = "forward"
+    BACKWARD = "backward"
+
+
+@dataclass
+class DataflowProblem:
+    """Specification of an intra-procedural dataflow problem."""
+
+    direction: Direction
+    #: fact at the boundary (entry for forward, exits for backward).
+    boundary: Any
+    #: fact for blocks not yet visited.
+    init: Any
+    #: meet(a, b) -> combined fact.
+    meet: Callable[[Any, Any], Any]
+    #: transfer(block, in_fact) -> out_fact.
+    transfer: Callable[[Block, Any], Any]
+    #: cost charged per transfer application (virtual time).
+    cost_per_transfer: int = 0
+
+
+@dataclass
+class DataflowResult:
+    """Facts at block boundaries, keyed by block start address."""
+
+    in_facts: dict[int, Any]
+    out_facts: dict[int, Any]
+    iterations: int
+
+
+def solve_dataflow(func: Function, problem: DataflowProblem,
+                   rt: Runtime | None = None) -> DataflowResult:
+    """Solve ``problem`` over ``func``'s intra-procedural CFG."""
+    blocks = function_blocks(func)
+    member = member_set(func)
+    forward = problem.direction is Direction.FORWARD
+
+    if forward:
+        def preds(b):
+            return intra_predecessors(b, member)
+
+        def succs(b):
+            return intra_successors(b, member)
+    else:
+        def preds(b):
+            return intra_successors(b, member)
+
+        def succs(b):
+            return intra_predecessors(b, member)
+
+    is_boundary: Callable[[Block], bool]
+    if forward:
+        def is_boundary(b):
+            return b.start == func.addr
+    else:
+        def is_boundary(b):
+            return not intra_successors(b, member)
+
+    in_facts: dict[int, Any] = {b.start: problem.init for b in blocks}
+    out_facts: dict[int, Any] = {b.start: problem.init for b in blocks}
+
+    work = deque(blocks if forward else reversed(blocks))
+    queued = {b.start for b in blocks}
+    iterations = 0
+    while work:
+        b = work.popleft()
+        queued.discard(b.start)
+        iterations += 1
+        incoming = [out_facts[p.start] for p in preds(b)]
+        if is_boundary(b):
+            incoming.append(problem.boundary)
+        fact = problem.init
+        for pf in incoming:
+            fact = problem.meet(fact, pf)
+        in_facts[b.start] = fact
+        if rt is not None and problem.cost_per_transfer:
+            rt.charge(problem.cost_per_transfer * max(1, len(b.insns)))
+        new_out = problem.transfer(b, fact)
+        if new_out != out_facts[b.start]:
+            out_facts[b.start] = new_out
+            for s in succs(b):
+                if s.start not in queued:
+                    queued.add(s.start)
+                    work.append(s)
+    return DataflowResult(in_facts=in_facts, out_facts=out_facts,
+                          iterations=iterations)

@@ -1,0 +1,105 @@
+"""Dominator computation (Cooper–Harvey–Kennedy iterative algorithm).
+
+Dominators over a function's intra-procedural CFG underpin natural-loop
+detection (AC2).  Blocks unreachable from the entry (possible for shared
+code that only *other* functions reach) are excluded.
+"""
+
+from __future__ import annotations
+
+from repro.analyses.common import (
+    intra_predecessors,
+    intra_successors,
+    member_set,
+)
+from repro.core.cfg import Block, Function
+from repro.runtime.api import Runtime
+
+
+def _reverse_postorder(func: Function, member: set[int]) -> list[Block]:
+    order: list[Block] = []
+    seen: set[int] = set()
+
+    def dfs(b: Block) -> None:
+        stack = [(b, iter(intra_successors(b, member)))]
+        seen.add(b.start)
+        while stack:
+            node, it = stack[-1]
+            advanced = False
+            for s in it:
+                if s.start not in seen:
+                    seen.add(s.start)
+                    stack.append((s, iter(intra_successors(s, member))))
+                    advanced = True
+                    break
+            if not advanced:
+                order.append(node)
+                stack.pop()
+
+    dfs(func.entry)
+    order.reverse()
+    return order
+
+
+def immediate_dominators(func: Function,
+                         rt: Runtime | None = None) -> dict[int, int]:
+    """Map block start -> immediate dominator start (entry maps to itself).
+
+    Only blocks reachable from the function entry appear.
+    """
+    member = member_set(func)
+    rpo = _reverse_postorder(func, member)
+    index = {b.start: i for i, b in enumerate(rpo)}
+    idom: dict[int, int] = {func.entry.start: func.entry.start}
+
+    def intersect(a: int, b: int) -> int:
+        while a != b:
+            while index[a] > index[b]:
+                a = idom[a]
+            while index[b] > index[a]:
+                b = idom[b]
+        return a
+
+    changed = True
+    while changed:
+        changed = False
+        for b in rpo:
+            if b.start == func.entry.start:
+                continue
+            if rt is not None:
+                rt.charge(rt.cost.loop_per_edge)
+            new_idom: int | None = None
+            for p in intra_predecessors(b, member):
+                if p.start not in idom or p.start not in index:
+                    continue
+                new_idom = (p.start if new_idom is None
+                            else intersect(p.start, new_idom))
+            if new_idom is not None and idom.get(b.start) != new_idom:
+                idom[b.start] = new_idom
+                changed = True
+    return idom
+
+
+def dominator_tree(func: Function,
+                   rt: Runtime | None = None) -> dict[int, list[int]]:
+    """Children lists of the dominator tree, keyed by block start."""
+    idom = immediate_dominators(func, rt)
+    tree: dict[int, list[int]] = {s: [] for s in idom}
+    for node, parent in idom.items():
+        if node != parent:
+            tree[parent].append(node)
+    for children in tree.values():
+        children.sort()
+    return tree
+
+
+def dominates(idom: dict[int, int], a: int, b: int) -> bool:
+    """True if block ``a`` dominates block ``b`` (both starts)."""
+    cur = b
+    while True:
+        if cur == a:
+            return True
+        parent = idom.get(cur)
+        if parent is None or parent == cur:
+            return a == cur
+        cur = parent

@@ -1,0 +1,137 @@
+"""Natural-loop detection and loop nesting (the paper's AC2).
+
+Back edges are intra-procedural edges whose target dominates their source;
+each back edge's natural loop is the set of blocks that reach the source
+without passing through the header.  Loops sharing a header are merged
+(as in LLVM/Dyninst loop analysis); nesting is containment of block sets.
+
+hpcstruct uses the nesting forest to attribute instructions to loop
+constructs; BinFeat uses loop depth counts as control-flow features.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyses.common import (
+    intra_predecessors,
+    intra_successors,
+    member_set,
+)
+from repro.analyses.dominators import dominates, immediate_dominators
+from repro.core.cfg import Function
+from repro.runtime.api import Runtime
+
+
+@dataclass
+class Loop:
+    """One natural loop."""
+
+    header: int                      #: header block start
+    blocks: set[int] = field(default_factory=set)
+    children: list["Loop"] = field(default_factory=list)
+    parent: "Loop | None" = None
+    depth: int = 1                   #: 1 = outermost
+
+    @property
+    def size(self) -> int:
+        return len(self.blocks)
+
+
+@dataclass
+class LoopForest:
+    """All loops of one function, with nesting."""
+
+    roots: list[Loop] = field(default_factory=list)
+    by_header: dict[int, Loop] = field(default_factory=dict)
+
+    @property
+    def n_loops(self) -> int:
+        return len(self.by_header)
+
+    @property
+    def max_depth(self) -> int:
+        return max((l.depth for l in self.by_header.values()), default=0)
+
+    def loop_of(self, block_start: int) -> Loop | None:
+        """The innermost loop containing a block, if any."""
+        best: Loop | None = None
+        for loop in self.by_header.values():
+            if block_start in loop.blocks:
+                if best is None or loop.depth > best.depth:
+                    best = loop
+        return best
+
+
+def find_loops(func: Function, rt: Runtime | None = None) -> LoopForest:
+    """Detect natural loops and build the nesting forest."""
+    member = member_set(func)
+    idom = immediate_dominators(func, rt)
+    blocks = {b.start: b for b in func.blocks if not b.is_empty}
+
+    # Back edges: target dominates source.
+    loops: dict[int, Loop] = {}
+    for start, b in sorted(blocks.items()):
+        if start not in idom:
+            continue  # unreachable from this function's entry
+        if rt is not None:
+            rt.charge(rt.cost.loop_per_edge * max(1, len(b.out_edges)))
+        for succ in intra_successors(b, member):
+            if succ.start not in idom:
+                continue
+            if dominates(idom, succ.start, start):
+                loop = loops.setdefault(succ.start, Loop(header=succ.start))
+                loop.blocks.add(succ.start)
+                _collect_body(loop, start, blocks, member)
+
+    forest = LoopForest(by_header=loops)
+    _build_nesting(forest)
+    return forest
+
+
+def _collect_body(loop: Loop, latch_start: int, blocks, member) -> None:
+    """Blocks reaching the latch without passing the header (backwards)."""
+    stack = [latch_start]
+    while stack:
+        s = stack.pop()
+        if s in loop.blocks:
+            continue
+        loop.blocks.add(s)
+        b = blocks.get(s)
+        if b is None:
+            continue
+        for p in intra_predecessors(b, member):
+            if p.start not in loop.blocks:
+                stack.append(p.start)
+
+
+def _build_nesting(forest: LoopForest) -> None:
+    loops = sorted(forest.by_header.values(), key=lambda l: (-len(l.blocks),
+                                                             l.header))
+    for i, inner in enumerate(loops):
+        # Smallest enclosing loop = the last (smallest) strict superset.
+        best: Loop | None = None
+        for outer in loops:
+            if outer is inner:
+                continue
+            if inner.header in outer.blocks and \
+                    inner.blocks <= outer.blocks and \
+                    (len(outer.blocks) > len(inner.blocks)
+                     or outer.header < inner.header):
+                if best is None or len(outer.blocks) < len(best.blocks):
+                    best = outer
+        if best is not None:
+            inner.parent = best
+            best.children.append(inner)
+    for loop in loops:
+        if loop.parent is None:
+            forest.roots.append(loop)
+        d = 1
+        p = loop.parent
+        while p is not None:
+            d += 1
+            p = p.parent
+        loop.depth = d
+    forest.roots.sort(key=lambda l: l.header)
+    for loop in loops:
+        loop.children.sort(key=lambda l: l.header)

@@ -1,0 +1,74 @@
+"""Backward slicing over registers.
+
+Given a use of a register at some instruction, collect the instructions
+that contribute to its value, following def-use chains within the block
+and across intra-procedural predecessors (depth-limited, as in Dyninst's
+jump-table slices — Section 2.2 notes only slice-reachable instructions
+are lifted, which is why slicing is cheap relative to whole-binary
+lifting).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analyses.common import intra_predecessors, member_set
+from repro.core.cfg import Block, Function
+from repro.isa.instructions import Instruction
+from repro.isa.registers import Reg
+from repro.runtime.api import Runtime
+
+
+@dataclass
+class SliceResult:
+    """Instructions on the backward slice, in discovery order."""
+
+    instructions: list[Instruction] = field(default_factory=list)
+    #: registers whose definitions left the slice region (unresolved).
+    escaped: set[Reg] = field(default_factory=set)
+
+    @property
+    def size(self) -> int:
+        return len(self.instructions)
+
+
+def backward_slice(func: Function, block: Block, insn_index: int,
+                   regs: set[Reg], max_depth: int = 6,
+                   rt: Runtime | None = None) -> SliceResult:
+    """Slice backwards from ``block.insns[insn_index]`` for ``regs``."""
+    member = member_set(func)
+    result = SliceResult()
+    seen_frames: set[tuple[int, int, frozenset[int]]] = set()
+
+    def wanted_bits(regs_set: set[Reg]) -> frozenset[int]:
+        return frozenset(int(r) for r in regs_set)
+
+    def walk(b: Block, upto: int, want: set[Reg], depth: int) -> None:
+        frame = (b.start, upto, wanted_bits(want))
+        if frame in seen_frames or not want:
+            return
+        seen_frames.add(frame)
+        remaining = set(want)
+        for i in range(upto - 1, -1, -1):
+            insn = b.insns[i]
+            written = insn.regs_written() & remaining
+            if written:
+                if rt is not None:
+                    rt.charge(rt.cost.lift_insn)
+                result.instructions.append(insn)
+                remaining -= written
+                remaining |= insn.regs_read()
+            if not remaining:
+                return
+        if depth >= max_depth:
+            result.escaped |= remaining
+            return
+        preds = intra_predecessors(b, member)
+        if not preds:
+            result.escaped |= remaining
+            return
+        for p in sorted(preds, key=lambda x: x.start):
+            walk(p, len(p.insns), set(remaining), depth + 1)
+
+    walk(block, insn_index, set(regs), 0)
+    return result

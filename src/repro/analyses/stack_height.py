@@ -1,0 +1,92 @@
+"""Stack-height analysis: abstract interpretation of SP adjustments.
+
+Tracks the net stack-pointer displacement (bytes, negative = grown) at
+block boundaries.  ``LEAVE`` restores the frame (height returns to the
+value at frame setup); conflicting heights meet to ``TOP`` (unknown).
+This is the analysis behind tail-call heuristic (3): a branch taken at
+height 0 after a teardown is a tail call.  (The parser itself uses the
+cheaper block-local teardown flag, as Dyninst does; this analysis is the
+"DataflowAPI StackAnalysis" counterpart used by applications.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analyses.dataflow import (
+    DataflowProblem,
+    Direction,
+    solve_dataflow,
+)
+from repro.core.cfg import Block, Function
+from repro.isa.instructions import Opcode
+from repro.runtime.api import Runtime
+
+#: Unknown / conflicting height.
+TOP = "top"
+
+
+def _meet(a, b):
+    if a is None:
+        return b
+    if b is None:
+        return a
+    if a == b:
+        return a
+    return TOP
+
+
+def _transfer(block: Block, height):
+    if height is TOP:
+        # LEAVE re-anchors the height even from unknown state.
+        if any(i.opcode is Opcode.LEAVE for i in block.insns):
+            h = None
+            for insn in block.insns:
+                if insn.opcode is Opcode.LEAVE:
+                    h = 0
+                elif h is not None:
+                    d = insn.sp_delta()
+                    h = TOP if d is None else (h + d
+                                               if h is not TOP else TOP)
+            return h if h is not None else TOP
+        return TOP
+    h = height
+    for insn in block.insns:
+        if insn.opcode is Opcode.LEAVE:
+            h = 0  # frame restored to call-time height
+            continue
+        d = insn.sp_delta()
+        if d is None:
+            return TOP
+        h += d
+    return h
+
+
+@dataclass
+class StackHeightResult:
+    """Stack heights at block boundaries (None = unreachable)."""
+
+    height_in: dict[int, int | str | None]
+    height_out: dict[int, int | str | None]
+
+    def teardown_before(self, block_start: int) -> bool:
+        """True if the block ends at call-time stack height (teardown
+        happened): the tail-call heuristic's data-flow form."""
+        h = self.height_out.get(block_start)
+        return h == 0
+
+
+def stack_heights(func: Function,
+                  rt: Runtime | None = None) -> StackHeightResult:
+    """Solve stack heights over one function (entry height 0)."""
+    problem = DataflowProblem(
+        direction=Direction.FORWARD,
+        boundary=0,
+        init=None,          # unreached
+        meet=_meet,
+        transfer=lambda b, h: None if h is None else _transfer(b, h),
+        cost_per_transfer=(rt.cost.liveness_per_insn if rt else 0),
+    )
+    res = solve_dataflow(func, problem, rt)
+    return StackHeightResult(height_in=res.in_facts,
+                             height_out=res.out_facts)

@@ -1,0 +1,204 @@
+"""Symbolic expressions over lifted instruction slices (ROSE IR analog).
+
+The paper's jump-table analysis lifts the backward slice of an indirect
+jump to an IR and "constructs a symbolic expression of the jump target"
+(Section 2.1).  This module provides the same machinery: a tiny
+expression language, a lifter that forward-evaluates a slice into a
+register environment of expressions, and pattern extraction for the
+bounded-table idiom ``Load(base + idx * 8)``.
+
+Expressions:
+
+- :class:`Const` — a known constant (e.g. a ``LEA``/``MOV_RI`` result);
+- :class:`RegInit` — the unknown input value of a register;
+- :class:`Load` — a memory read (its *value* is opaque, its address is a
+  sub-expression — a table base that round-trips through a Load is how
+  stack spills defeat the analysis);
+- :class:`BinOp` — arithmetic over sub-expressions, constant-folded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.isa.instructions import Instruction, Opcode
+from repro.isa.registers import Reg
+
+
+class Expr:
+    """Base class for symbolic expressions."""
+
+    __slots__ = ()
+
+    @property
+    def const_value(self) -> int | None:
+        """The expression's value if fully constant, else None."""
+        return None
+
+
+@dataclass(frozen=True, slots=True)
+class Const(Expr):
+    value: int
+
+    @property
+    def const_value(self) -> int | None:
+        return self.value
+
+    def __str__(self) -> str:
+        return f"{self.value:#x}"
+
+
+@dataclass(frozen=True, slots=True)
+class RegInit(Expr):
+    """Unknown initial value of a register at the slice boundary."""
+
+    reg: Reg
+
+    def __str__(self) -> str:
+        return f"{self.reg.name}@in"
+
+
+@dataclass(frozen=True, slots=True)
+class Load(Expr):
+    """A memory read; the value is opaque, the address symbolic."""
+
+    addr: Expr
+
+    def __str__(self) -> str:
+        return f"mem[{self.addr}]"
+
+
+@dataclass(frozen=True, slots=True)
+class BinOp(Expr):
+    op: str
+    lhs: Expr
+    rhs: Expr
+
+    def __str__(self) -> str:
+        return f"({self.lhs} {self.op} {self.rhs})"
+
+
+def binop(op: str, lhs: Expr, rhs: Expr) -> Expr:
+    """Build a BinOp with constant folding."""
+    lv, rv = lhs.const_value, rhs.const_value
+    if lv is not None and rv is not None:
+        if op == "+":
+            return Const((lv + rv) & 0xFFFF_FFFF_FFFF_FFFF)
+        if op == "-":
+            return Const((lv - rv) & 0xFFFF_FFFF_FFFF_FFFF)
+        if op == "*":
+            return Const((lv * rv) & 0xFFFF_FFFF_FFFF_FFFF)
+        if op == "^":
+            return Const(lv ^ rv)
+        if op == "&":
+            return Const(lv & rv)
+        if op == "|":
+            return Const(lv | rv)
+    return BinOp(op, lhs, rhs)
+
+
+_ARITH = {
+    Opcode.ADD: "+", Opcode.SUB: "-", Opcode.MUL: "*",
+    Opcode.XOR: "^", Opcode.AND: "&", Opcode.OR: "|",
+}
+
+
+class SymEnv:
+    """Register environment mapping registers to expressions."""
+
+    __slots__ = ("_regs",)
+
+    def __init__(self) -> None:
+        self._regs: dict[Reg, Expr] = {}
+
+    def get(self, reg: Reg) -> Expr:
+        e = self._regs.get(reg)
+        if e is None:
+            e = RegInit(reg)
+            self._regs[reg] = e
+        return e
+
+    def set(self, reg: Reg, expr: Expr) -> None:
+        self._regs[reg] = expr
+
+    def step(self, insn: Instruction) -> None:
+        """Evaluate one instruction's register effects symbolically."""
+        op = insn.opcode
+        o = insn.operands
+        if op is Opcode.MOV_RI or op is Opcode.LEA:
+            self.set(Reg(o[0]), Const(o[1]))
+        elif op is Opcode.MOV_RR:
+            self.set(Reg(o[0]), self.get(Reg(o[1])))
+        elif op in _ARITH:
+            self.set(Reg(o[0]), binop(_ARITH[op], self.get(Reg(o[0])),
+                                      self.get(Reg(o[1]))))
+        elif op is Opcode.ADDI:
+            imm = o[1] - (1 << 32) if o[1] >= (1 << 31) else o[1]
+            self.set(Reg(o[0]), binop("+", self.get(Reg(o[0])),
+                                      Const(imm)))
+        elif op is Opcode.LOAD:
+            addr = binop("+", self.get(Reg(o[1])), Const(o[2]))
+            self.set(Reg(o[0]), Load(addr))
+        elif op is Opcode.LOADIDX:
+            addr = binop("+", self.get(Reg(o[1])),
+                         binop("*", self.get(Reg(o[2])), Const(8)))
+            self.set(Reg(o[0]), Load(addr))
+        elif op is Opcode.POP:
+            self.set(Reg(o[0]), Load(self.get(Reg.SP)))
+        else:
+            # Anything else that writes registers produces opaque values.
+            for r in insn.regs_written():
+                if r is not Reg.FLAGS:
+                    self.set(r, RegInit(r))
+
+
+def lift_slice(insns: list[Instruction], target: Reg) -> Expr:
+    """Lift a slice (execution order) and return the target expression."""
+    env = SymEnv()
+    for insn in insns:
+        env.step(insn)
+    return env.get(target)
+
+
+@dataclass(frozen=True)
+class TablePattern:
+    """Extracted ``Load(base + idx*scale)`` jump-table pattern."""
+
+    base: int           #: constant table base address
+    scale: int
+    index: Expr         #: the (non-constant) index expression
+
+
+def match_table_pattern(expr: Expr) -> TablePattern | Const | None:
+    """Recognize the jump-target shapes the analysis can act on.
+
+    Returns a :class:`TablePattern` for table loads, a :class:`Const` for
+    statically-known single targets (constant-folded indirect jumps), or
+    None when the expression is unresolvable (e.g. the base itself came
+    out of memory — a stack spill).
+    """
+    cv = expr.const_value
+    if cv is not None:
+        return Const(cv)
+    if not isinstance(expr, Load):
+        return None
+    addr = expr.addr
+    if isinstance(addr, Const):
+        # Constant address, constant-index table of one entry.
+        return TablePattern(base=addr.value, scale=1, index=Const(0))
+    if isinstance(addr, BinOp) and addr.op == "+":
+        for base_e, idx_e in ((addr.lhs, addr.rhs), (addr.rhs, addr.lhs)):
+            base = base_e.const_value
+            if base is None:
+                continue
+            if isinstance(idx_e, BinOp) and idx_e.op == "*":
+                scale = idx_e.rhs.const_value or idx_e.lhs.const_value
+                if scale in (1, 2, 4, 8):
+                    index = (idx_e.lhs
+                             if idx_e.rhs.const_value is not None
+                             else idx_e.rhs)
+                    return TablePattern(base=base, scale=scale,
+                                        index=index)
+            # Unscaled index (byte tables).
+            return TablePattern(base=base, scale=1, index=idx_e)
+    return None

@@ -1,0 +1,49 @@
+"""Application case studies (Section 7).
+
+- :mod:`repro.apps.hpcstruct` — program-structure recovery for
+  performance analysis (HPCToolkit's hpcstruct): seven-phase pipeline of
+  Figure 2 over one large binary.
+- :mod:`repro.apps.binfeat` — binary-code feature extraction for software
+  forensics (BinFeat): CFG + instruction/control-flow/data-flow feature
+  stages of Table 3 over a corpus.
+- :mod:`repro.apps.checker` — correctness checker comparing parsed CFGs
+  against synthesized ground truth (Section 8.1).
+"""
+
+from repro.apps.hpcstruct import HpcstructResult, hpcstruct
+from repro.apps.binfeat import (
+    BinFeatResult,
+    binfeat,
+    binfeat_distributed,
+)
+from repro.apps.checker import (
+    CheckReport,
+    Difference,
+    DiffCategory,
+    check_binary,
+    check_corpus,
+)
+from repro.apps.similarity import SimilarityIndex, build_index
+from repro.apps.structfile import (
+    parse_structure_file,
+    to_xml,
+    write_structure_file,
+)
+
+__all__ = [
+    "HpcstructResult",
+    "hpcstruct",
+    "BinFeatResult",
+    "binfeat",
+    "binfeat_distributed",
+    "CheckReport",
+    "Difference",
+    "DiffCategory",
+    "check_binary",
+    "check_corpus",
+    "SimilarityIndex",
+    "build_index",
+    "parse_structure_file",
+    "to_xml",
+    "write_structure_file",
+]

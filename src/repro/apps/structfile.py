@@ -1,0 +1,120 @@
+"""Structure-file serialization for hpcstruct results.
+
+Real hpcstruct writes an XML document (``<LM>/<F>/<P>/<L>/<S>`` elements)
+mapping load module -> files -> procedures -> loops -> statements, which
+HPCToolkit's attribution step consumes.  This module emits the analogous
+document from :class:`~repro.apps.hpcstruct.HpcstructResult` and parses
+it back, so the pipeline produces a real on-disk artifact.
+"""
+
+from __future__ import annotations
+
+import xml.etree.ElementTree as ET
+from xml.dom import minidom
+
+from repro.apps.hpcstruct import (
+    FunctionStructure,
+    HpcstructResult,
+    InlineStructure,
+    LoopStructure,
+)
+
+
+def to_xml(result: HpcstructResult, binary_name: str = "a.out") -> str:
+    """Serialize a structure result to the XML document format."""
+    root = ET.Element("HPCToolkitStructure", version="1.0")
+    lm = ET.SubElement(root, "LM", n=binary_name)
+    by_file: dict[str, ET.Element] = {}
+    for fs in result.structure:
+        fnode = by_file.get(fs.source_file or "<unknown>")
+        if fnode is None:
+            fnode = ET.SubElement(lm, "F", n=fs.source_file or "<unknown>")
+            by_file[fs.source_file or "<unknown>"] = fnode
+        proc = ET.SubElement(
+            fnode, "P", n=fs.name,
+            v=_ranges_attr(fs.ranges),
+        )
+        for loop in fs.loops:
+            _emit_loop(proc, loop)
+        for inl in fs.inlines:
+            _emit_inline(proc, inl)
+    return minidom.parseString(
+        ET.tostring(root, encoding="unicode")
+    ).toprettyxml(indent="  ")
+
+
+def _ranges_attr(ranges) -> str:
+    return " ".join(f"{{{lo:#x}-{hi:#x}}}" for lo, hi in ranges)
+
+
+def _emit_loop(parent: ET.Element, loop: LoopStructure) -> None:
+    node = ET.SubElement(parent, "L", s=f"{loop.header:#x}",
+                         d=str(loop.depth), b=str(loop.n_blocks))
+    for child in loop.children:
+        _emit_loop(node, child)
+
+
+def _emit_inline(parent: ET.Element, inl: InlineStructure) -> None:
+    node = ET.SubElement(parent, "A", n=inl.callee, f=inl.call_file,
+                         l=str(inl.call_line))
+    for child in inl.children:
+        _emit_inline(node, child)
+
+
+def write_structure_file(result: HpcstructResult, path: str,
+                         binary_name: str = "a.out") -> None:
+    """Write the structure document to ``path``."""
+    with open(path, "w") as f:
+        f.write(to_xml(result, binary_name))
+
+
+def parse_structure_file(text: str) -> list[FunctionStructure]:
+    """Parse a structure document back into structure entries."""
+    root = ET.fromstring(text)
+    out: list[FunctionStructure] = []
+    for fnode in root.iter("F"):
+        source = fnode.get("n", "")
+        for proc in fnode.findall("P"):
+            fs = FunctionStructure(
+                name=proc.get("n", "?"),
+                entry=_first_range_lo(proc.get("v", "")),
+                ranges=_parse_ranges(proc.get("v", "")),
+                source_file=source,
+            )
+            fs.loops = [_parse_loop(l) for l in proc.findall("L")]
+            fs.inlines = [_parse_inline(a) for a in proc.findall("A")]
+            out.append(fs)
+    out.sort(key=lambda fs: (fs.entry, fs.name))
+    return out
+
+
+def _parse_ranges(attr: str):
+    ranges = []
+    for part in attr.split():
+        body = part.strip("{}")
+        lo, hi = body.split("-")
+        ranges.append((int(lo, 16), int(hi, 16)))
+    return ranges
+
+
+def _first_range_lo(attr: str) -> int:
+    ranges = _parse_ranges(attr)
+    return ranges[0][0] if ranges else 0
+
+
+def _parse_loop(node: ET.Element) -> LoopStructure:
+    return LoopStructure(
+        header=int(node.get("s", "0"), 16),
+        depth=int(node.get("d", "1")),
+        n_blocks=int(node.get("b", "0")),
+        children=[_parse_loop(c) for c in node.findall("L")],
+    )
+
+
+def _parse_inline(node: ET.Element) -> InlineStructure:
+    return InlineStructure(
+        callee=node.get("n", "?"),
+        call_file=node.get("f", ""),
+        call_line=int(node.get("l", "0")),
+        children=[_parse_inline(c) for c in node.findall("A")],
+    )

@@ -1,0 +1,53 @@
+"""Binary container substrate (the ELF analog).
+
+A :class:`~repro.binary.format.BinaryImage` holds named sections —
+``.text`` (machine code), ``.rodata`` (jump-table data), ``.symtab`` /
+``.dynsym`` (symbols), ``.debug`` (DWARF-like debug information) and
+``.eh_frame`` (unwind-derived function starts) — with a compact binary
+serialization, so binaries can be written to disk and loaded back exactly
+like the ELF files the paper analyzes.
+
+The multi-keyed symbol table of Listing 6 lives in
+:mod:`repro.binary.symtab`; the debug-information model (compilation-unit
+forest, subprogram ranges, inline trees, line tables) in
+:mod:`repro.binary.dwarf`.
+"""
+
+from repro.binary.format import BinaryImage, Section, SectionFlags
+from repro.binary.symtab import (
+    Symbol,
+    SymbolKind,
+    SymbolBinding,
+    SymbolTable,
+    IndexedSymbols,
+    demangle_pretty,
+    demangle_typed,
+)
+from repro.binary.dwarf import (
+    CompilationUnit,
+    DebugInfo,
+    FunctionDIE,
+    InlinedCall,
+    LineRow,
+)
+from repro.binary.loader import load_image, save_image
+
+__all__ = [
+    "BinaryImage",
+    "Section",
+    "SectionFlags",
+    "Symbol",
+    "SymbolKind",
+    "SymbolBinding",
+    "SymbolTable",
+    "IndexedSymbols",
+    "demangle_pretty",
+    "demangle_typed",
+    "CompilationUnit",
+    "DebugInfo",
+    "FunctionDIE",
+    "InlinedCall",
+    "LineRow",
+    "load_image",
+    "save_image",
+]

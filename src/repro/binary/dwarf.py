@@ -1,0 +1,188 @@
+"""DWARF-like debug information: compilation units, DIEs, line tables.
+
+Mirrors the structure hpcstruct consumes (Section 7.1/7.2 of the paper):
+
+- a forest of compilation units (one per source file group), each holding
+  subprogram DIEs with (possibly multiple, possibly shared) address ranges —
+  the ground-truth encoding for functions sharing code and non-contiguous
+  functions (Section 8.1);
+- inlined-subroutine trees under each subprogram (AC4);
+- a line table mapping addresses to file/line (AC3).
+
+``die_count`` and ``line_count`` drive the simulated cost of parallel DWARF
+parsing (Figure 2 phase 2 / Table 2 "DWARF" column).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.binary.bytesio import ByteReader, ByteWriter
+
+Range = tuple[int, int]
+
+
+@dataclass
+class InlinedCall:
+    """An inlined-subroutine DIE: callee inlined at a call site."""
+
+    callee: str
+    call_file: str
+    call_line: int
+    ranges: list[Range] = field(default_factory=list)
+    children: list["InlinedCall"] = field(default_factory=list)
+
+    def die_count(self) -> int:
+        return 1 + sum(c.die_count() for c in self.children)
+
+
+@dataclass
+class FunctionDIE:
+    """A subprogram DIE.
+
+    ``ranges`` may contain several non-contiguous address ranges (outlined
+    cold blocks), and one range may appear under multiple subprograms
+    (functions sharing code) — both cases the checker exercises.
+    """
+
+    name: str
+    ranges: list[Range] = field(default_factory=list)
+    decl_file: str = ""
+    decl_line: int = 0
+    inlines: list[InlinedCall] = field(default_factory=list)
+
+    def die_count(self) -> int:
+        return 1 + sum(i.die_count() for i in self.inlines)
+
+    @property
+    def low_pc(self) -> int:
+        return min(lo for lo, _ in self.ranges) if self.ranges else 0
+
+
+@dataclass(frozen=True, slots=True)
+class LineRow:
+    """One line-table row: instructions at [addr, next row addr) map to
+    file:line."""
+
+    addr: int
+    file: str
+    line: int
+
+
+@dataclass
+class CompilationUnit:
+    """One compilation unit: subprograms plus its slice of the line table.
+
+    ``n_type_dies`` counts abstract type DIEs (structs, templates, ...)
+    carried by the CU; they have no structure we analyze but dominate
+    ``.debug`` size for template-heavy binaries like TensorFlow and are
+    charged during the parallel DWARF parse (Figure 2, phase 2).
+    """
+
+    name: str
+    functions: list[FunctionDIE] = field(default_factory=list)
+    line_rows: list[LineRow] = field(default_factory=list)
+    n_type_dies: int = 0
+
+    def die_count(self) -> int:
+        return 1 + self.n_type_dies + sum(f.die_count() for f in self.functions)
+
+
+@dataclass
+class DebugInfo:
+    """The full ``.debug`` payload: a forest of compilation units."""
+
+    cus: list[CompilationUnit] = field(default_factory=list)
+
+    def die_count(self) -> int:
+        return sum(cu.die_count() for cu in self.cus)
+
+    def line_count(self) -> int:
+        return sum(len(cu.line_rows) for cu in self.cus)
+
+    def all_functions(self) -> list[FunctionDIE]:
+        return [f for cu in self.cus for f in cu.functions]
+
+    # -- serialization -------------------------------------------------------
+
+    def to_bytes(self) -> bytes:
+        w = ByteWriter()
+        w.u32(len(self.cus))
+        for cu in self.cus:
+            w.string(cu.name)
+            w.u32(cu.n_type_dies)
+            w.u32(len(cu.functions))
+            for f in cu.functions:
+                _write_function(w, f)
+            w.u32(len(cu.line_rows))
+            for row in cu.line_rows:
+                w.u64(row.addr)
+                w.string(row.file)
+                w.u32(row.line)
+            # Type DIE payload: opaque filler so .debug size scales with
+            # DIE count as it does in real template-heavy binaries.
+            w.blob(b"\x00" * (cu.n_type_dies * 24))
+        return w.getvalue()
+
+    @classmethod
+    def from_bytes(cls, raw: bytes) -> "DebugInfo":
+        r = ByteReader(raw)
+        n_cus = r.u32()
+        cus = []
+        for _ in range(n_cus):
+            cu = CompilationUnit(name=r.string())
+            cu.n_type_dies = r.u32()
+            for _ in range(r.u32()):
+                cu.functions.append(_read_function(r))
+            for _ in range(r.u32()):
+                cu.line_rows.append(LineRow(r.u64(), r.string(), r.u32()))
+            r.blob()  # skip opaque type-DIE payload
+            cus.append(cu)
+        return cls(cus=cus)
+
+
+def _write_ranges(w: ByteWriter, ranges: list[Range]) -> None:
+    w.u32(len(ranges))
+    for lo, hi in ranges:
+        w.u64(lo)
+        w.u64(hi)
+
+
+def _read_ranges(r: ByteReader) -> list[Range]:
+    return [(r.u64(), r.u64()) for _ in range(r.u32())]
+
+
+def _write_inline(w: ByteWriter, inl: InlinedCall) -> None:
+    w.string(inl.callee)
+    w.string(inl.call_file)
+    w.u32(inl.call_line)
+    _write_ranges(w, inl.ranges)
+    w.u32(len(inl.children))
+    for c in inl.children:
+        _write_inline(w, c)
+
+
+def _read_inline(r: ByteReader) -> InlinedCall:
+    inl = InlinedCall(callee=r.string(), call_file=r.string(),
+                      call_line=r.u32(), ranges=_read_ranges(r))
+    for _ in range(r.u32()):
+        inl.children.append(_read_inline(r))
+    return inl
+
+
+def _write_function(w: ByteWriter, f: FunctionDIE) -> None:
+    w.string(f.name)
+    _write_ranges(w, f.ranges)
+    w.string(f.decl_file)
+    w.u32(f.decl_line)
+    w.u32(len(f.inlines))
+    for inl in f.inlines:
+        _write_inline(w, inl)
+
+
+def _read_function(r: ByteReader) -> FunctionDIE:
+    f = FunctionDIE(name=r.string(), ranges=_read_ranges(r),
+                    decl_file=r.string(), decl_line=r.u32())
+    for _ in range(r.u32()):
+        f.inlines.append(_read_inline(r))
+    return f

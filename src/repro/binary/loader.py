@@ -1,0 +1,102 @@
+"""Loading and saving binary images with parsed views.
+
+``load_image`` returns a :class:`LoadedBinary` bundling the raw image with
+lazily parsed symbol table, debug info and eh_frame function starts — the
+view CFG construction and the applications consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import cached_property
+
+from repro.binary import format as fmt
+from repro.binary.bytesio import ByteReader, ByteWriter
+from repro.binary.dwarf import DebugInfo
+from repro.binary.format import BinaryImage
+from repro.binary.symtab import SymbolTable
+from repro.isa.decoder import Decoder
+
+
+@dataclass(frozen=True)
+class LoadedBinary:
+    """A binary image plus parsed views of its metadata sections."""
+
+    image: BinaryImage
+
+    @property
+    def name(self) -> str:
+        return self.image.name
+
+    @cached_property
+    def decoder(self) -> Decoder:
+        text = self.image.text
+        return Decoder(text.data, text.addr)
+
+    @cached_property
+    def symtab(self) -> SymbolTable:
+        if not self.image.has_section(fmt.SYMTAB):
+            return SymbolTable()
+        return SymbolTable.from_bytes(self.image.section(fmt.SYMTAB).data)
+
+    @cached_property
+    def dynsym(self) -> SymbolTable:
+        if not self.image.has_section(fmt.DYNSYM):
+            return SymbolTable()
+        return SymbolTable.from_bytes(self.image.section(fmt.DYNSYM).data)
+
+    @cached_property
+    def debug_info(self) -> DebugInfo:
+        if not self.image.has_section(fmt.DEBUG):
+            return DebugInfo()
+        return DebugInfo.from_bytes(self.image.section(fmt.DEBUG).data)
+
+    @cached_property
+    def eh_frame_starts(self) -> list[int]:
+        """Function entry addresses recorded in unwind information."""
+        if not self.image.has_section(fmt.EH_FRAME):
+            return []
+        r = ByteReader(self.image.section(fmt.EH_FRAME).data)
+        return [r.u64() for _ in range(r.u32())]
+
+    def entry_addresses(self) -> list[int]:
+        """Candidate function entries from symtab + dynsym + eh_frame.
+
+        This is the paper's ``F0``: "candidate function entry blocks
+        discovered via the binary's symbol table and unwind information".
+        """
+        addrs = {s.offset for s in self.symtab.functions()}
+        addrs.update(s.offset for s in self.dynsym.functions())
+        addrs.update(self.eh_frame_starts)
+        return sorted(addrs)
+
+    def stripped(self) -> "LoadedBinary":
+        """A copy without ``.symtab`` (stripped-binary scenario, Section 9)."""
+        img = BinaryImage(name=self.image.name + " (stripped)")
+        for name, sec in self.image.sections.items():
+            if name != fmt.SYMTAB:
+                img.add_section(sec)
+        return LoadedBinary(img)
+
+
+def encode_eh_frame(starts: list[int]) -> bytes:
+    """Serialize function start addresses for the ``.eh_frame`` section."""
+    w = ByteWriter()
+    w.u32(len(starts))
+    for a in sorted(starts):
+        w.u64(a)
+    return w.getvalue()
+
+
+def load_image(source: str | bytes | BinaryImage) -> LoadedBinary:
+    """Load a binary from a path, raw bytes, or an in-memory image."""
+    if isinstance(source, BinaryImage):
+        return LoadedBinary(source)
+    if isinstance(source, bytes):
+        return LoadedBinary(BinaryImage.from_bytes(source))
+    return LoadedBinary(BinaryImage.load(source))
+
+
+def save_image(image: BinaryImage, path: str) -> None:
+    """Write a binary image to disk."""
+    image.save(path)

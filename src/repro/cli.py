@@ -1,0 +1,230 @@
+"""Command-line interface: ``repro <command>``.
+
+Commands:
+
+- ``synth``     — generate a synthetic binary (optionally save to disk);
+- ``parse``     — run parallel CFG construction and print statistics;
+- ``hpcstruct`` — run the structure-recovery pipeline (Figure 2 phases);
+- ``binfeat``   — run feature extraction over a generated corpus;
+- ``check``     — run the correctness checker (Section 8.1).
+
+Workloads are either preset names (``tiny``, ``llnl1``, ``llnl2``,
+``camellia``, ``tensorflow``) or paths to ``.sbin`` images produced by
+``synth --output``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from repro.binary.loader import load_image
+from repro.core.parallel_parser import ParseOptions, parse_binary
+from repro.runtime import make_runtime
+from repro.synth import (
+    camellia_like,
+    llnl1_like,
+    llnl2_like,
+    tensorflow_like,
+    tiny_binary,
+)
+
+_PRESETS = {
+    "tiny": lambda scale: tiny_binary(),
+    "llnl1": lambda scale: llnl1_like(scale=scale),
+    "llnl2": lambda scale: llnl2_like(scale=scale),
+    "camellia": lambda scale: camellia_like(scale=scale),
+    "tensorflow": lambda scale: tensorflow_like(scale=scale),
+}
+
+
+def _load_workload(spec: str, scale: float):
+    """Resolve a preset name or image path to (LoadedBinary, synth|None)."""
+    if spec in _PRESETS:
+        sb = _PRESETS[spec](scale)
+        return sb.binary, sb
+    return load_image(spec), None
+
+
+def _add_runtime_args(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workers", "-j", type=int, default=8,
+                   help="number of (simulated) workers")
+    p.add_argument("--runtime", choices=["vtime", "threads", "serial"],
+                   default="vtime", help="execution backend")
+    p.add_argument("--scale", type=float, default=0.1,
+                   help="workload scale factor for presets")
+
+
+def _make_rt(args, **kw):
+    n = 1 if args.runtime == "serial" else args.workers
+    return make_runtime(args.runtime, n, **kw)
+
+
+def cmd_synth(args) -> int:
+    binary, sb = _load_workload(args.workload, args.scale)
+    img = binary.image
+    info = {
+        "name": img.name,
+        "total_bytes": img.total_size,
+        "text_bytes": img.text_size,
+        "debug_bytes": img.debug_size,
+        "symbols": len(binary.symtab),
+        "entries": len(binary.entry_addresses()),
+    }
+    if sb is not None:
+        info["functions"] = len(sb.spec.functions)
+        info["jump_tables"] = len(sb.ground_truth.jump_tables)
+    if args.output:
+        img.save(args.output)
+        info["saved_to"] = args.output
+    print(json.dumps(info, indent=2))
+    return 0
+
+
+def cmd_parse(args) -> int:
+    binary, _ = _load_workload(args.workload, args.scale)
+    rt = _make_rt(args)
+    cfg = parse_binary(binary, rt, ParseOptions())
+    s = cfg.stats
+    out = {
+        "binary": binary.name,
+        "workers": rt.num_workers,
+        "functions": s.n_functions,
+        "blocks": s.n_blocks,
+        "edges": s.n_edges,
+        "splits": s.n_splits,
+        "waves": s.n_waves,
+        "jump_tables": {
+            "resolved": s.n_jt_resolved,
+            "unresolved": s.n_jt_unresolved,
+            "over_approximated": s.n_jt_overapprox,
+            "edges_trimmed": s.n_edges_trimmed,
+        },
+        "tailcall_flips": s.n_tailcall_flips,
+        "makespan_cycles": rt.makespan,
+    }
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def cmd_hpcstruct(args) -> int:
+    from repro.apps.hpcstruct import hpcstruct
+
+    binary, _ = _load_workload(args.workload, args.scale)
+    rt = _make_rt(args)
+    res = hpcstruct(binary, rt)
+    out = {
+        "binary": binary.name,
+        "workers": rt.num_workers,
+        "functions": len(res.structure),
+        "phases_cycles": res.phase_durations,
+        "dwarf_cycles": res.dwarf_time,
+        "cfg_cycles": res.cfg_time,
+        "makespan_cycles": res.makespan,
+    }
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def cmd_binfeat(args) -> int:
+    from repro.apps.binfeat import binfeat
+    from repro.synth import forensics_corpus
+
+    corpus = forensics_corpus(n_binaries=args.n_binaries,
+                              scale=args.scale)
+    rt = _make_rt(args)
+    res = binfeat([sb.binary for sb in corpus], rt)
+    out = {
+        "binaries": res.n_binaries,
+        "workers": rt.num_workers,
+        "functions": res.n_functions,
+        "stages_cycles": res.stage_durations,
+        "distinct_features": len(res.feature_index),
+        "makespan_cycles": res.makespan,
+    }
+    print(json.dumps(out, indent=2))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    """Worker-count sweep: the Figure 3 experiment for one binary."""
+    binary, _ = _load_workload(args.workload, args.scale)
+    rows = []
+    base = None
+    counts = [int(x) for x in args.workers_list.split(",")]
+    for n in counts:
+        rt = make_runtime("vtime", n)
+        parse_binary(binary, rt, ParseOptions())
+        if base is None:
+            base = rt.makespan
+        rows.append({"workers": n, "makespan_cycles": rt.makespan,
+                     "speedup": round(base / rt.makespan, 2)})
+    print(json.dumps({"binary": binary.name, "sweep": rows}, indent=2))
+    return 0
+
+
+def cmd_check(args) -> int:
+    from repro.apps.checker import check_binary, summarize
+    from repro.synth import coreutils_like_corpus
+
+    corpus = coreutils_like_corpus(n_binaries=args.n_binaries)
+    reports = []
+    for sb in corpus:
+        rt = _make_rt(args)
+        cfg = parse_binary(sb.binary, rt)
+        reports.append(check_binary(sb, cfg))
+    print(json.dumps(summarize(reports), indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Parallel binary code analysis (PPoPP 2021 reproduction)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    sp = sub.add_parser("synth", help="generate a synthetic binary")
+    sp.add_argument("workload", help="preset name")
+    sp.add_argument("--output", "-o", help="save image to this path")
+    sp.add_argument("--scale", type=float, default=0.1)
+    sp.set_defaults(fn=cmd_synth)
+
+    pp = sub.add_parser("parse", help="parallel CFG construction")
+    pp.add_argument("workload", help="preset name or .sbin path")
+    _add_runtime_args(pp)
+    pp.set_defaults(fn=cmd_parse)
+
+    hp = sub.add_parser("hpcstruct", help="program structure recovery")
+    hp.add_argument("workload", help="preset name or .sbin path")
+    _add_runtime_args(hp)
+    hp.set_defaults(fn=cmd_hpcstruct)
+
+    bp = sub.add_parser("binfeat", help="forensic feature extraction")
+    bp.add_argument("--n-binaries", type=int, default=8)
+    _add_runtime_args(bp)
+    bp.set_defaults(fn=cmd_binfeat)
+
+    cp = sub.add_parser("check", help="correctness vs ground truth")
+    cp.add_argument("--n-binaries", type=int, default=10)
+    _add_runtime_args(cp)
+    cp.set_defaults(fn=cmd_check)
+
+    wp = sub.add_parser("sweep", help="worker-count speedup sweep")
+    wp.add_argument("workload", help="preset name or .sbin path")
+    wp.add_argument("--workers-list", default="1,2,4,8,16",
+                    help="comma-separated worker counts")
+    wp.add_argument("--scale", type=float, default=0.1)
+    wp.set_defaults(fn=cmd_sweep)
+
+    return p
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

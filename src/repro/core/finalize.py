@@ -1,0 +1,306 @@
+"""CFG finalization (Section 5.4): the correction phase ``Gm ≽ … ≽ Gn``.
+
+No new CFG elements are added here.  Four steps:
+
+1. **Jump-table overlap cleanup** — over-approximated (unbounded-scan)
+   tables that overflow into another discovered table are trimmed using
+   the observation that compilers do not emit overlapping jump tables;
+   the trimmed edges are removed with ``O_ER`` semantics (cascading
+   removal of blocks no longer reachable from any entry).  Edge removals
+   commute (Section 4.1), so tables are processed in parallel.
+2. **Tail-call correction** — the three rules of the paper, applied
+   iteratively with function boundaries recomputed between rounds; each
+   edge's verdict is flipped at most once, ensuring convergence.
+3. **Function boundary assignment** — parallel reachability over
+   intra-procedural edges from every entry (blocks may belong to several
+   functions: shared code).
+4. **Dead function removal** — functions discovered during analysis that
+   ended with no incoming inter-procedural edges are dropped (symbol-table
+   entries are roots and always stay).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import TYPE_CHECKING
+
+from repro.core.cfg import (
+    Block,
+    EdgeType,
+    Function,
+    JumpTableInfo,
+    ParsedCFG,
+)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.parallel_parser import ParallelParser
+
+
+def finalize(parser: "ParallelParser") -> ParsedCFG:
+    rt = parser.rt
+    blocks = {start: b for start, b in parser.blocks_by_start.sorted_items()}
+    functions = {addr: f for addr, f in parser.functions.sorted_items()}
+    tables = [info for _, info in parser.jump_tables.sorted_items()]
+
+    _trim_overlapping_tables(parser, tables, blocks, functions)
+    _correct_tail_calls(parser, blocks, functions)
+    _assign_boundaries(parser, functions)
+    functions = _remove_dead_functions(parser, functions)
+    _finalize_statuses(parser, functions)
+
+    live_blocks = [b for b in blocks.values() if b.end is not None]
+    stats = parser.stats
+    stats.n_functions = len(functions)
+    stats.n_blocks = len(live_blocks)
+    stats.n_edges = sum(len(b.out_edges) for b in live_blocks)
+    stats.n_jt_resolved = sum(1 for t in tables if t.bounded)
+    stats.n_jt_unresolved = sum(1 for t in tables if t.table_addr is None)
+    stats.n_jt_overapprox = sum(
+        1 for t in tables if t.table_addr is not None and not t.bounded)
+    return ParsedCFG(functions=list(functions.values()),
+                     blocks=live_blocks, jump_tables=tables, stats=stats)
+
+
+# --------------------------------------------------------------- step 1
+
+def _trim_overlapping_tables(parser: "ParallelParser",
+                             tables: list[JumpTableInfo],
+                             blocks: dict[int, Block],
+                             functions: dict[int, Function]) -> None:
+    """Trim unbounded table scans at the next discovered table's base."""
+    rt = parser.rt
+    starts = sorted(t.table_addr for t in tables if t.table_addr is not None)
+    removed_any = []
+
+    def trim(info: JumpTableInfo) -> None:
+        if info.table_addr is None or info.bounded:
+            return
+        rt.charge(rt.cost.map_op)
+        idx = bisect.bisect_right(starts, info.table_addr)
+        if idx >= len(starts):
+            return
+        next_base = starts[idx]
+        allowed = max(0, (next_base - info.table_addr) // 8)
+        if info.n_entries <= allowed:
+            return
+        keep = info.targets[:allowed]
+        drop = info.targets[allowed:]
+        info.trimmed = len(drop)
+        info.targets = keep
+        info.n_entries = allowed
+        block = blocks.get(info.block_start)
+        if block is None:
+            return
+        drop_set = set(drop) - set(keep)
+        doomed = [e for e in block.out_edges
+                  if e.etype is EdgeType.INDIRECT and e.dst.start in drop_set]
+        for e in doomed:
+            rt.charge(rt.cost.edge_create)
+            block.out_edges.remove(e)
+            e.dst.in_edges.remove(e)
+            parser.stats.n_edges_trimmed += 1
+        if doomed:
+            removed_any.append(True)
+
+    rt.parallel_for(tables, trim)
+    if removed_any:
+        _sweep_unreachable(parser, blocks, functions)
+
+
+def _sweep_unreachable(parser: "ParallelParser", blocks: dict[int, Block],
+                       functions: dict[int, Function]) -> None:
+    """O_ER cascade: drop blocks unreachable from any function entry."""
+    rt = parser.rt
+    reached: set[int] = set()
+    stack = [f.entry for f in functions.values()]
+    while stack:
+        b = stack.pop()
+        if b.start in reached:
+            continue
+        reached.add(b.start)
+        rt.charge(rt.cost.sweep_per_block)
+        for e in b.out_edges:
+            if e.dst.start not in reached:
+                stack.append(e.dst)
+    dead = [s for s in blocks if s not in reached]
+    for s in dead:
+        b = blocks.pop(s)
+        for e in b.out_edges:
+            if e in e.dst.in_edges:
+                e.dst.in_edges.remove(e)
+        for e in b.in_edges:
+            if e in e.src.out_edges:
+                e.src.out_edges.remove(e)
+        parser.blocks_by_start.remove(s)
+
+
+# --------------------------------------------------------------- steps 2+3
+
+_INTRA = (EdgeType.DIRECT, EdgeType.COND_TAKEN, EdgeType.COND_FALLTHROUGH,
+          EdgeType.FALLTHROUGH, EdgeType.CALL_FT, EdgeType.INDIRECT)
+
+
+def _function_closure(rt, func: Function) -> set[int]:
+    """Block starts reachable from the entry via intra-procedural edges."""
+    seen: set[int] = set()
+    stack = [func.entry]
+    while stack:
+        b = stack.pop()
+        if b.start in seen:
+            continue
+        seen.add(b.start)
+        rt.charge(rt.cost.closure_per_block)
+        for e in b.out_edges:
+            if e.etype in _INTRA and e.dst.start not in seen:
+                stack.append(e.dst)
+    return seen
+
+
+def _correct_tail_calls(parser: "ParallelParser", blocks: dict[int, Block],
+                        functions: dict[int, Function]) -> None:
+    """Iterative application of the three correction rules."""
+    rt = parser.rt
+
+    symtab_entries = {s.offset for s in parser.binary.symtab.functions()}
+    symtab_entries.update(s.offset
+                          for s in parser.binary.dynsym.functions())
+
+    for _round in range(8):
+        # Temporary boundaries (parallel graph search).
+        closures: dict[int, set[int]] = {}
+
+        def compute(fa):
+            addr, func = fa
+            closures[addr] = _function_closure(rt, func)
+
+        rt.parallel_for(sorted(functions.items()), compute)
+
+        # Block start -> functions containing it.
+        containing: dict[int, set[int]] = {}
+        for faddr, cl in closures.items():
+            for bstart in cl:
+                containing.setdefault(bstart, set()).add(faddr)
+
+        def entry_like(dst: Block) -> bool:
+            return (dst.start in symtab_entries
+                    or any(ie.etype.interprocedural for ie in dst.in_edges))
+
+        flips = 0
+        for b in (blocks[s] for s in sorted(blocks)):
+            for e in list(b.out_edges):
+                if e.flipped:
+                    continue
+                if e.etype is EdgeType.DIRECT:
+                    # Rule 1: not a tail call, but the target has CALL-like
+                    # incoming edges (it is a function entry).
+                    if entry_like(e.dst):
+                        e.etype = EdgeType.TAILCALL
+                        e.flipped = True
+                        flips += 1
+                elif e.etype is EdgeType.TAILCALL:
+                    target = e.dst.start
+                    src_funcs = containing.get(e.src.start, set())
+                    # Rule 2: marked tail call but the target lies inside
+                    # the current function's own boundary.
+                    inside = any(
+                        target in closures[fa] and target != fa
+                        for fa in src_funcs
+                        if fa != target
+                    )
+                    # Rule 3: sole incoming edge and not a symbol-table
+                    # entry: an outlined block, not a function.
+                    sole = (len(e.dst.in_edges) == 1
+                            and target not in symtab_entries
+                            and target in functions
+                            and functions[target].discovered_via
+                            == "tailcall")
+                    if inside or sole:
+                        e.etype = EdgeType.DIRECT
+                        e.flipped = True
+                        flips += 1
+        parser.stats.n_tailcall_flips += flips
+        if flips == 0:
+            return
+
+        # Flips change the function set: rule-1 flips may need a function
+        # at the target; rule-2/3 flips may orphan one (cleaned later).
+        for b in blocks.values():
+            for e in b.out_edges:
+                if e.etype is EdgeType.TAILCALL and \
+                        e.dst.start not in functions:
+                    func = Function(e.dst.start, f"func_{e.dst.start:x}",
+                                    e.dst, from_symtab=False,
+                                    discovered_via="tailcall")
+                    func.status = parser.noreturn.status_of(e.dst.start)
+                    functions[e.dst.start] = func
+
+
+def _assign_boundaries(parser: "ParallelParser",
+                       functions: dict[int, Function]) -> None:
+    rt = parser.rt
+    by_start = parser.blocks_by_start
+
+    def assign(fa):
+        addr, func = fa
+        closure = _function_closure(rt, func)
+        func.blocks = [by_start.get(s) for s in sorted(closure)
+                       if by_start.get(s) is not None]
+
+    rt.parallel_for(sorted(functions.items()), assign)
+
+
+# --------------------------------------------------------------- step 4
+
+def _remove_dead_functions(parser: "ParallelParser",
+                           functions: dict[int, Function]
+                           ) -> dict[int, Function]:
+    """Drop discovered functions with no incoming inter-procedural edges."""
+    incoming: set[int] = set()
+    for addr, func in functions.items():
+        for b in func.blocks:
+            for e in b.out_edges:
+                if e.etype.interprocedural:
+                    incoming.add(e.dst.start)
+    kept: dict[int, Function] = {}
+    for addr, func in sorted(functions.items()):
+        if func.from_symtab or addr in incoming:
+            kept[addr] = func
+        else:
+            parser.stats.n_funcs_removed += 1
+    return kept
+
+
+def _finalize_statuses(parser: "ParallelParser",
+                       functions: dict[int, Function]) -> None:
+    """Give finalization-created functions a schedule-independent status.
+
+    Functions minted during tail-call correction never went through the
+    wave fixed point; resolve them from their (now final) closure so the
+    result is identical regardless of whether a given entry was discovered
+    during traversal or during correction.
+    """
+    from repro.core.cfg import ReturnStatus
+    from repro.isa.instructions import ControlFlowKind
+
+    def summary(func: Function) -> tuple[bool, set[int]]:
+        has_ret = any(b.last_kind is ControlFlowKind.RETURN
+                      for b in func.blocks)
+        tails = {e.dst.start for b in func.blocks for e in b.out_edges
+                 if e.etype is EdgeType.TAILCALL}
+        return has_ret, tails
+
+    changed = True
+    while changed:
+        changed = False
+        for func in functions.values():
+            if func.status is not ReturnStatus.UNSET:
+                continue
+            has_ret, tails = summary(func)
+            statuses = [functions[t].status for t in tails
+                        if t in functions]
+            if has_ret or ReturnStatus.RETURN in statuses:
+                func.status = ReturnStatus.RETURN
+                changed = True
+    for func in functions.values():
+        if func.status is ReturnStatus.UNSET:
+            func.status = ReturnStatus.NORETURN

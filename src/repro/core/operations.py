@@ -1,0 +1,184 @@
+"""The six core CFG operations of Section 3, as pure functions.
+
+Each operation maps an immutable :class:`~repro.core.graphstate.GraphState`
+to a new state, given the :class:`~repro.core.graphstate.CodeSpace` that
+abstracts the underlying binary.  Property tests in
+``tests/core/test_properties.py`` verify the paper's Section 4 claims
+directly against these definitions: commutativity of ``O_BER``/``O_DEC``/
+``O_ER``, the monotonic ordering of ``O_IEC`` under a monotone target
+oracle, and its failure under an over-approximating oracle.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import replace
+
+from repro.core.graphstate import CodeSpace, EdgeKind, FEdge, GraphState
+
+#: An indirect-target oracle: given the current graph and the indirect
+#: block's end address, produce statically determined targets.  The paper's
+#: monotonicity property holds when the oracle is monotone in the graph.
+IndirectOracle = Callable[[GraphState, int], frozenset[int]]
+
+
+def ober(code: CodeSpace, g: GraphState, t: int) -> GraphState:
+    """Block End Resolution: resolve candidate ``[t]`` to a real block.
+
+    Implements the three cases of the paper's definition: block splitting,
+    early block ending, and linear parsing.  No-op if ``t`` is not a
+    candidate of ``g`` (operations are only applicable to discovered
+    elements — the applicability dependency).
+    """
+    if t not in g.candidates:
+        return g
+    if not (code.base <= t < code.limit):
+        # Undecodable address: the candidate resolves to nothing.
+        return replace(g, candidates=g.candidates - {t})
+
+    # Case 1: block splitting — t falls strictly inside an existing block.
+    host = g.block_containing(t)
+    if host is not None:
+        s, e = host
+        g = g.without_block(host)
+        g = g.with_block(s, t)
+        g = g.with_block(t, e)
+        return g.with_edge(FEdge(t, t, EdgeKind.FALL))
+
+    # Find where linear parsing from t would end.
+    nxt = code.next_cf_end(t)
+    linear_end = nxt[0] if nxt is not None else code.limit
+
+    # Case 2: early block ending — an existing block starts at s in
+    # (t, linear_end) with no control-flow instruction in [t, s).
+    starts_after = sorted(s for s, _ in g.blocks if t < s < linear_end)
+    if starts_after:
+        s = starts_after[0]
+        g = g.with_block(t, s)
+        return g.with_edge(FEdge(s, s, EdgeKind.FALL))
+
+    # Case 3: linear parsing.
+    return g.with_block(t, linear_end)
+
+
+def odec(code: CodeSpace, g: GraphState, e: int) -> GraphState:
+    """Direct Edge Creation: append outgoing edges of the block ending at ``e``.
+
+    The operation is identified by the block's *end address*: it depends
+    only on the terminating control-flow instruction ending there — the
+    fact the paper's commutativity argument rests on (a split may shrink
+    the block, but its end, and hence this operation, is unaffected).
+    """
+    if g.block_ending(e) is None:
+        return g
+    cf = code.cf_at_end(e)
+    if cf is None:
+        return g
+    kind, targets = cf
+    if kind is EdgeKind.JUMP:
+        for t in targets:
+            g = g.with_candidate(t)
+            g = g.with_edge(FEdge(e, t, EdgeKind.JUMP))
+    elif kind is EdgeKind.COND_TAKEN:
+        for t in targets:
+            g = g.with_candidate(t)
+            g = g.with_edge(FEdge(e, t, EdgeKind.COND_TAKEN))
+        g = g.with_candidate(e)
+        g = g.with_edge(FEdge(e, e, EdgeKind.FALL))
+    elif kind is EdgeKind.CALL:
+        for t in targets:
+            g = g.with_candidate(t)
+            g = g.with_edge(FEdge(e, t, EdgeKind.CALL))
+    # returns/halts/indirects add no direct edges
+    return g
+
+
+def ocfec(code: CodeSpace, g: GraphState, call_edge: FEdge,
+          returns: Callable[[int], bool]) -> GraphState:
+    """Call Fall-through Edge Creation.
+
+    ``returns`` is the non-returning analysis: correctness of this
+    operation *depends* on it (the non-returning function dependency).
+    """
+    if call_edge.kind is not EdgeKind.CALL or call_edge not in g.edges:
+        return g
+    if not returns(call_edge.dst_start):
+        return g
+    e = call_edge.src_end
+    g = g.with_candidate(e)
+    return g.with_edge(FEdge(e, e, EdgeKind.CALL_FT))
+
+
+def oiec(code: CodeSpace, g: GraphState, block_end: int,
+         oracle: IndirectOracle) -> GraphState:
+    """Indirect Edge Creation via a target oracle (jump-table analysis)."""
+    if block_end not in code.indirect_ends:
+        return g
+    if g.block_ending(block_end) is None:
+        return g
+    for t in sorted(oracle(g, block_end)):
+        g = g.with_candidate(t)
+        g = g.with_edge(FEdge(block_end, t, EdgeKind.INDIRECT))
+    return g
+
+
+def ofei(code: CodeSpace, g: GraphState, edge: FEdge,
+         is_tail_call: Callable[[GraphState, FEdge], bool] | None = None
+         ) -> GraphState:
+    """Function Entry Identification.
+
+    Trivial for call edges; for branches it consults the (implementation-
+    specific, order-sensitive) tail-call heuristic — which is why the paper
+    classifies this operation as non-reorderable.
+    """
+    if edge not in g.edges:
+        return g
+    if edge.kind is EdgeKind.CALL:
+        return g.with_entry(edge.dst_start)
+    if is_tail_call is not None and is_tail_call(g, edge):
+        return g.with_entry(edge.dst_start)
+    return g
+
+
+def oer(code: CodeSpace, g: GraphState, edge: FEdge) -> GraphState:
+    """Edge Removal: drop ``edge`` and everything no longer reachable.
+
+    Exactly the paper's definition: keep blocks/candidates reachable from
+    any entry without traversing ``edge``, then restrict the edge set.
+    """
+    if edge not in g.edges:
+        return g
+    kept_edges = g.edges - {edge}
+
+    # Reachability over nodes identified by start address.
+    out_by_end: dict[int, list[FEdge]] = {}
+    for ed in kept_edges:
+        out_by_end.setdefault(ed.src_end, []).append(ed)
+
+    block_by_start = {s: (s, e) for s, e in g.blocks}
+    reached_blocks: set[tuple[int, int]] = set()
+    reached_cands: set[int] = set()
+    stack = [a for a in g.entries
+             if a in block_by_start or a in g.candidates]
+    seen_starts: set[int] = set()
+    while stack:
+        a = stack.pop()
+        if a in seen_starts:
+            continue
+        seen_starts.add(a)
+        b = block_by_start.get(a)
+        if b is None:
+            if a in g.candidates:
+                reached_cands.add(a)
+            continue
+        reached_blocks.add(b)
+        for ed in out_by_end.get(b[1], []):
+            stack.append(ed.dst_start)
+
+    final_edges = frozenset(
+        ed for ed in kept_edges
+        if any(b[1] == ed.src_end for b in reached_blocks)
+        and (ed.dst_start in seen_starts)
+    )
+    return replace(g, blocks=frozenset(reached_blocks),
+                   candidates=frozenset(reached_cands), edges=final_edges)

@@ -1,0 +1,581 @@
+"""Parallel CFG construction (Section 5 of the paper).
+
+Implements Listing 2's three stages — parallel function initialization,
+parallel control-flow traversal, CFG finalization — on top of the runtime
+abstraction, with the five invariants of Section 5.2:
+
+1. **Block creation**: at most one block per start address (insert-if-
+   absent on the blocks-by-start map; the winning task parses the block).
+2. **Block end**: at most one block per end address; the check is deferred
+   until a control-flow instruction, so there is one global map lookup per
+   *control-flow* instruction, not per instruction.
+3. **Edge creation**: the task that registers a block's end creates its
+   outgoing edges, while holding the end accessor.
+4. **Block split**: tasks that lose the end registration split blocks with
+   the eager algorithm — each iteration re-registers at a strictly smaller
+   end address, so the algorithm converges (and the accessor order is
+   strictly decreasing, so it cannot deadlock).
+5. **Function creation**: at most one function per entry address.
+
+Non-returning dependencies are handled by eager notification (the first
+``RET`` found releases waiting call sites immediately) plus a wave-level
+fixed point for statuses that need whole-closure information (shared
+blocks, call chains, cycles).  Jump tables are analyzed with union
+semantics and re-analyzed after a function gains more control-flow paths
+(the fixed-point refinement of Section 5.3).
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+
+from repro.binary.loader import LoadedBinary
+from repro.core.cfg import (
+    Block,
+    Edge,
+    EdgeType,
+    Function,
+    JumpTableInfo,
+    ParseStats,
+    ParsedCFG,
+    ReturnStatus,
+)
+from repro.core.finalize import finalize
+from repro.core.jump_table import JumpTableOptions, analyze_jump_table
+from repro.core.noreturn import (
+    DeferredCallSite,
+    NoReturnState,
+    closure_summary_fn,
+)
+from repro.core.tailcall import conditional_branch_is_tail_call, is_tail_call
+from repro.isa.instructions import ControlFlowKind, Instruction, Opcode
+from repro.runtime.api import Runtime
+from repro.runtime.conchash import ConcurrentHashMap
+
+
+@dataclass
+class ParseOptions:
+    """Knobs for the parallel parser (ablation points are called out)."""
+
+    #: eager noreturn notification (Section 5.3) vs wave-boundary only.
+    eager_noreturn_notify: bool = True
+    #: task parallelism with spawn-on-discovery (Section 6.3) vs
+    #: round-based parallel-for waves (Listing 2's basic shape).
+    task_parallel: bool = True
+    #: process large functions first at the initial spawn (Listing 7).
+    sort_functions: bool = True
+    #: thread-local decode cache (Section 6.3).
+    thread_local_cache: bool = True
+    jt_options: JumpTableOptions = field(default_factory=JumpTableOptions)
+    max_waves: int = 60
+
+
+@dataclass
+class _TaskCtx:
+    """Per-traversal-task state (function-local, no synchronization)."""
+
+    func: Function
+    work: list[Block] = field(default_factory=list)
+    reached: set[int] = field(default_factory=set)
+    jt_pending: list[Block] = field(default_factory=list)
+    jt_targets_seen: dict[int, set[int]] = field(default_factory=dict)
+    #: blocks already scanned for reachable returns (shared-code regions).
+    scanned: set[int] = field(default_factory=set)
+
+
+class ParallelParser:
+    """One-shot parser for one binary on one runtime."""
+
+    def __init__(self, binary: LoadedBinary, rt: Runtime,
+                 options: ParseOptions | None = None):
+        self.binary = binary
+        self.rt = rt
+        self.opts = options or ParseOptions()
+        self.decoder = binary.decoder
+        self.image = binary.image
+        self.blocks_by_start: ConcurrentHashMap[int, Block] = \
+            ConcurrentHashMap(rt)
+        self.block_ends: ConcurrentHashMap[int, Block] = \
+            ConcurrentHashMap(rt)
+        self.functions: ConcurrentHashMap[int, Function] = \
+            ConcurrentHashMap(rt)
+        self.jump_tables: ConcurrentHashMap[int, JumpTableInfo] = \
+            ConcurrentHashMap(rt)
+        self.noreturn = NoReturnState(
+            rt, eager_notify=(self.opts.eager_noreturn_notify
+                              and self.opts.task_parallel))
+        self.stats = ParseStats()
+        self._tl = threading.local()
+        self._group = None            # traversal task group
+        self._round_discovered: list[Function] = []  # round-mode only
+
+    # ------------------------------------------------------------- public API
+
+    def execute(self) -> ParsedCFG:
+        """Run all three stages; must be called inside ``rt.run``."""
+        rt = self.rt
+        with rt.phase("cfg_init"):
+            initial = self._init_functions()
+        with rt.phase("cfg_traversal"):
+            if self.opts.task_parallel:
+                self._traverse_tasked(initial)
+            else:
+                self._traverse_rounds(initial)
+            self._noreturn_waves()
+        with rt.phase("cfg_finalize"):
+            cfg = finalize(self)
+        return cfg
+
+    # -------------------------------------------------------------- stage 1
+
+    def _init_functions(self) -> list[tuple[Function, list[Block]]]:
+        """Parallel InitFunctions: one function per symtab/unwind entry."""
+        symtab = self.binary.symtab
+        name_of = {}
+        size_of = {}
+        for s in symtab.functions():
+            name_of.setdefault(s.offset, s.name)
+            size_of[s.offset] = max(size_of.get(s.offset, 0), s.size)
+        for s in self.binary.dynsym.functions():
+            name_of.setdefault(s.offset, s.name)
+        entries = self.binary.entry_addresses()
+
+        results: list[tuple[Function, list[Block]]] = []
+
+        def init_one(addr: int) -> None:
+            name = name_of.get(addr, f"func_{addr:x}")
+            func, created_f, seeds = self._make_function(addr, name,
+                                                         via="symtab")
+            if created_f:
+                results.append((func, seeds))
+
+        self.rt.parallel_for(entries, init_one)
+        if self.opts.sort_functions:
+            # Largest symbols first: the load-balancing sort of Listing 7.
+            results.sort(key=lambda fs: (-size_of.get(fs[0].addr, 0),
+                                         fs[0].addr))
+        else:
+            results.sort(key=lambda fs: fs[0].addr)
+        return results
+
+    # -------------------------------------------------------------- stage 2
+
+    def _traverse_tasked(self, initial) -> None:
+        """Task parallelism: a task per function, spawned on discovery.
+
+        Initial tasks are fanned out as a splitting tree so launching
+        thousands of functions isn't itself a serial phase.
+        """
+        group = self.rt.task_group()
+        self._group = group
+
+        def spawn_range(lo: int, hi: int) -> None:
+            while hi - lo > 1:
+                mid = (lo + hi) // 2
+                group.spawn(spawn_range, mid, hi)
+                hi = mid
+            if hi > lo:
+                func, seeds = initial[lo]
+                self._traverse_task(func, seeds)
+
+        if initial:
+            spawn_range(0, len(initial))
+        group.wait()
+
+    def _traverse_rounds(self, initial) -> None:
+        """Round-based parallel-for (Listing 2's loop; ablation mode)."""
+        current = list(initial)
+        while current:
+            self._round_discovered = []
+            self.rt.parallel_for(
+                current, lambda fs: self._traverse_task(fs[0], fs[1]))
+            current = [(f, seeds) for f, seeds in self._round_discovered]
+
+    def _traverse_task(self, func: Function, seeds: list[Block]) -> None:
+        """ControlFlowTraversal(f) — Listing 3."""
+        ctx = _TaskCtx(func=func)
+        ctx.work.extend(seeds)
+        ctx.reached.add(func.addr)
+        self._drain(ctx)
+
+    def _drain(self, ctx: _TaskCtx) -> None:
+        while True:
+            while ctx.work:
+                block = ctx.work.pop()
+                self._parse_block(ctx, block)
+            if not self._retry_jump_tables(ctx):
+                break
+
+    # -- block parsing -------------------------------------------------------
+
+    def _parse_block(self, ctx: _TaskCtx, block: Block) -> None:
+        ctx.reached.add(block.start)
+        insns, ended_cf = self._linear_parse(block.start)
+        if not insns:
+            block.end = block.start  # degenerate: undecodable candidate
+            return
+        block.insns = insns
+        block.has_teardown = any(
+            i.opcode is Opcode.LEAVE or (i.sp_delta() or 0) > 0
+            for i in insns
+        )
+        last = insns[-1] if ended_cf else None
+        end = insns[-1].end
+        self._register_end(ctx, block, end, last)
+
+    def _linear_parse(self, start: int) -> tuple[list[Instruction], bool]:
+        """linearParsing with the optional thread-local decode cache."""
+        rt = self.rt
+        if not self.opts.thread_local_cache:
+            insns, ended_cf = self.decoder.linear_scan(start)
+            rt.charge(rt.cost.decode_insn * len(insns))
+            return insns, ended_cf
+        cache: dict[int, Instruction] = getattr(self._tl, "insns", None) or {}
+        if not hasattr(self._tl, "insns"):
+            self._tl.insns = cache
+        insns: list[Instruction] = []
+        addr = start
+        misses = 0
+        while True:
+            insn = cache.get(addr)
+            if insn is None:
+                if not self.decoder.contains(addr):
+                    break
+                try:
+                    insn = self.decoder.decode_at(addr)
+                except Exception:
+                    break
+                cache[addr] = insn
+                misses += 1
+            insns.append(insn)
+            if insn.is_control_flow:
+                rt.charge(rt.cost.decode_insn * misses)
+                return insns, True
+            addr = insn.end
+        rt.charge(rt.cost.decode_insn * misses)
+        return insns, False
+
+    # -- invariants 2-4: end registration, edge creation, splitting ------------
+
+    def _register_end(self, ctx: _TaskCtx, block: Block, end: int,
+                      last: Instruction | None) -> None:
+        rt = self.rt
+        pending: tuple[Block, int, Instruction | None] | None = \
+            (block, end, last)
+        while pending is not None:
+            blk, e, lst = pending
+            pending = None
+            with self.block_ends.accessor(e) as acc:
+                if acc.created:
+                    # Invariant 2 won: this block owns end e; invariant 3:
+                    # we create its outgoing edges, under the accessor.
+                    acc.value = blk
+                    blk.end = e
+                    blk.last_kind = lst.cf_kind if lst is not None else None
+                    if lst is not None:
+                        self._create_edges(ctx, blk, lst)
+                    continue
+                other = acc.value
+                if other is blk:
+                    continue
+                rt.charge(rt.cost.block_split)
+                self.stats.n_splits += 1
+                if other.start < blk.start:
+                    # Split the incumbent: it keeps [xo, xb); we take over
+                    # the end registration and inherit its out-edges.
+                    acc.value = blk
+                    blk.end = e
+                    blk.last_kind = other.last_kind
+                    moved = other.out_edges
+                    other.out_edges = []
+                    for edge in moved:
+                        edge.src = blk
+                    blk.out_edges.extend(moved)
+                    other.truncate(blk.start)
+                    self._link(other, blk, EdgeType.FALLTHROUGH)
+                    pending = (other, blk.start, None)
+                else:
+                    # We are the longer block: truncate ourselves and
+                    # re-register at the incumbent's start.
+                    blk.truncate(other.start)
+                    self._link(blk, other, EdgeType.FALLTHROUGH)
+                    pending = (blk, other.start, None)
+
+    def _link(self, src: Block, dst: Block, etype: EdgeType) -> Edge:
+        rt = self.rt
+        rt.charge(rt.cost.edge_create)
+        edge = Edge(src, dst, etype)
+        src.out_edges.append(edge)
+        dst.in_edges.append(edge)
+        return edge
+
+    def _ensure_block(self, start: int) -> tuple[Block, bool]:
+        """Invariant 1: create-if-absent; the winner parses the block."""
+        rt = self.rt
+        with self.blocks_by_start.accessor(start) as acc:
+            if acc.created:
+                rt.charge(rt.cost.block_create)
+                acc.value = Block(start)
+                return acc.value, True
+            return acc.value, False
+
+    def _make_function(self, addr: int, name: str, via: str
+                       ) -> tuple[Function, bool, list[Block]]:
+        """Invariant 5: create-if-absent function plus its entry block."""
+        rt = self.rt
+        entry, created_b = self._ensure_block(addr)
+        with self.functions.accessor(addr) as acc:
+            if acc.created:
+                rt.charge(rt.cost.func_create)
+                func = Function(addr, name, entry,
+                                from_symtab=(via == "symtab"),
+                                discovered_via=via)
+                acc.value = func
+                self.noreturn.init_function(func)
+                return func, True, [entry] if created_b else []
+            return acc.value, False, [entry] if created_b else []
+
+    # -- invariant 3: the edge creation cases of Listing 3 ---------------------
+
+    def _create_edges(self, ctx: _TaskCtx, block: Block,
+                      last: Instruction) -> None:
+        kind = last.cf_kind
+        if kind is ControlFlowKind.DIRECT_JUMP:
+            self._direct_branch(ctx, block, last.direct_target)
+        elif kind is ControlFlowKind.COND_JUMP:
+            self._cond_branch(ctx, block, last)
+        elif kind is ControlFlowKind.CALL:
+            self._call(ctx, block, last)
+        elif kind is ControlFlowKind.INDIRECT_CALL:
+            # Unknown callee: assume it returns (as Dyninst does).
+            self._add_intra_target(ctx, block, last.end, EdgeType.CALL_FT)
+        elif kind is ControlFlowKind.INDIRECT_JUMP:
+            self._indirect_jump(ctx, block)
+        elif kind is ControlFlowKind.RETURN:
+            for site in self.noreturn.mark_return(ctx.func.addr):
+                self._spawn_resume(site)
+        # HALT: block ends, no edges.
+
+    def _add_intra_target(self, ctx: _TaskCtx, block: Block, target: int,
+                          etype: EdgeType) -> Block:
+        tb, created = self._ensure_block(target)
+        self._link(block, tb, etype)
+        ctx.reached.add(target)
+        if created:
+            ctx.work.append(tb)
+        else:
+            # Shared code: the region was parsed by another function's
+            # task, so its return instructions never pass through our
+            # Listing 3 loop.  Scan the already-built subgraph eagerly so
+            # our status resolves without waiting for a wave boundary.
+            self._scan_existing_region(ctx, tb)
+        return tb
+
+    def _scan_existing_region(self, ctx: _TaskCtx, block: Block) -> None:
+        rt = self.rt
+        if self.noreturn.status_of(ctx.func.addr) is not ReturnStatus.UNSET:
+            return
+        stack = [block]
+        while stack:
+            b = stack.pop()
+            if b.start in ctx.scanned:
+                continue
+            ctx.scanned.add(b.start)
+            ctx.reached.add(b.start)
+            rt.charge(rt.cost.closure_per_block)
+            if b.last_kind is ControlFlowKind.RETURN:
+                for site in self.noreturn.mark_return(ctx.func.addr):
+                    self._spawn_resume(site)
+                return
+            for e in b.out_edges:
+                if e.etype.intraprocedural and e.dst.start not in ctx.scanned:
+                    stack.append(e.dst)
+
+    def _direct_branch(self, ctx: _TaskCtx, block: Block,
+                       target: int) -> None:
+        if is_tail_call(target, block,
+                        is_known_entry=lambda t: t in self.functions,
+                        reached_in_function=lambda t: t in ctx.reached):
+            self._tail_call_edge(ctx, block, target, EdgeType.TAILCALL)
+        else:
+            self._add_intra_target(ctx, block, target, EdgeType.DIRECT)
+
+    def _cond_branch(self, ctx: _TaskCtx, block: Block,
+                     last: Instruction) -> None:
+        target = last.direct_target
+        if conditional_branch_is_tail_call(
+                target, is_known_entry=lambda t: t in self.functions):
+            self._tail_call_edge(ctx, block, target, EdgeType.TAILCALL)
+        else:
+            self._add_intra_target(ctx, block, target, EdgeType.COND_TAKEN)
+        self._add_intra_target(ctx, block, last.end,
+                               EdgeType.COND_FALLTHROUGH)
+
+    def _tail_call_edge(self, ctx: _TaskCtx, block: Block, target: int,
+                        etype: EdgeType) -> None:
+        func, created, seeds = self._make_function(
+            target, f"func_{target:x}", via="tailcall")
+        self._link(block, func.entry, etype)
+        if seeds:
+            self._spawn_traversal(func, seeds)
+        # Eager tail propagation: this function returns if the tail-callee
+        # does; register the dependency (or propagate immediately).
+        status = self.noreturn.defer_tail(ctx.func.addr, target)
+        if status is ReturnStatus.RETURN:
+            for site in self.noreturn.mark_return(ctx.func.addr):
+                self._spawn_resume(site)
+
+    def _call(self, ctx: _TaskCtx, block: Block, last: Instruction) -> None:
+        target = last.direct_target
+        func, created, seeds = self._make_function(
+            target, f"func_{target:x}", via="call")
+        self._link(block, func.entry, EdgeType.CALL)
+        if seeds:
+            self._spawn_traversal(func, seeds)
+        # Call fall-through: depends on the callee's return status.
+        site = DeferredCallSite(caller_addr=ctx.func.addr, block=block,
+                                fallthrough=last.end, callee_addr=target)
+        status = self.noreturn.defer(site)
+        if status is ReturnStatus.RETURN:
+            self._add_intra_target(ctx, block, last.end, EdgeType.CALL_FT)
+        # UNSET: deferred (eager notification or a wave releases it).
+        # NORETURN: no fall-through edge, ever.
+
+    def _indirect_jump(self, ctx: _TaskCtx, block: Block) -> None:
+        info = analyze_jump_table(self.rt, self.image, block,
+                                  self.opts.jt_options)
+        with self.jump_tables.accessor(block.start) as acc:
+            acc.value = info
+        seen = ctx.jt_targets_seen.setdefault(block.start, set())
+        for t in info.targets:
+            if t not in seen:
+                seen.add(t)
+                self._add_intra_target(ctx, block, t, EdgeType.INDIRECT)
+        if info.table_addr is None or not info.bounded:
+            ctx.jt_pending.append(block)
+
+    def _retry_jump_tables(self, ctx: _TaskCtx) -> bool:
+        """Fixed-point jump-table refinement: re-analyze after the function
+        gained more control-flow paths; True if new targets appeared."""
+        if not ctx.jt_pending:
+            return False
+        progress = False
+        still_pending: list[Block] = []
+        for block in ctx.jt_pending:
+            info = analyze_jump_table(self.rt, self.image, block,
+                                      self.opts.jt_options)
+            seen = ctx.jt_targets_seen.setdefault(block.start, set())
+            new = [t for t in info.targets if t not in seen]
+            if new:
+                progress = True
+                with self.jump_tables.accessor(block.start) as acc:
+                    acc.value = info
+                for t in new:
+                    seen.add(t)
+                    self._add_intra_target(ctx, block, t, EdgeType.INDIRECT)
+            if info.table_addr is None or not info.bounded:
+                still_pending.append(block)
+        ctx.jt_pending = still_pending if progress else []
+        return progress
+
+    # -- deferred call fall-throughs --------------------------------------------
+
+    def _spawn_traversal(self, func: Function, seeds: list[Block]) -> None:
+        if self.opts.task_parallel:
+            assert self._group is not None
+            self._group.spawn(self._traverse_task, func, seeds)
+        else:
+            self._round_discovered.append((func, seeds))
+
+    def _spawn_resume(self, site: DeferredCallSite) -> None:
+        if self.opts.task_parallel and self._group is not None:
+            self._group.spawn(self._resume_call_ft, site)
+        else:
+            self._resume_call_ft(site)
+
+    def _resume_call_ft(self, site: DeferredCallSite) -> None:
+        """Create a released call fall-through edge and keep traversing.
+
+        The call block may have been split since the site was recorded;
+        the current owner of the call's end address is looked up under the
+        block-ends accessor, which also excludes concurrent splits while
+        the edge is attached (invariants 3/4).
+        """
+        call_end = site.block.insns[-1].end if site.block.insns else None
+        fb, created = self._ensure_block(site.fallthrough)
+        owner = None
+        if call_end is not None:
+            with self.block_ends.accessor(call_end, create=False) as acc:
+                if acc is not None:
+                    owner = acc.value
+                    self._link(owner, fb, EdgeType.CALL_FT)
+        if owner is None:
+            self._link(site.block, fb, EdgeType.CALL_FT)
+        if created:
+            func = self.functions.get(site.caller_addr)
+            ctx = _TaskCtx(func=func if func is not None else
+                           Function(site.caller_addr, "?", fb, False))
+            ctx.work.append(fb)
+            self._drain(ctx)
+
+    # -- wave-level noreturn fixed point ------------------------------------------
+
+    def _noreturn_waves(self) -> None:
+        """Resolve return statuses and release deferred fall-throughs
+        until nothing changes; then resolve cycles to NORETURN."""
+        rt = self.rt
+        for _ in range(self.opts.max_waves):
+            self.stats.n_waves += 1
+            funcs = [f for _, f in self.functions.sorted_items()]
+            memo: dict[int, tuple[bool, frozenset[int]]] = {}
+            base_summary = closure_summary_fn(
+                on_visit=lambda b: rt.charge(rt.cost.closure_per_block))
+
+            # Closure walks are the expensive part of a wave; do them in
+            # parallel, then run the (cheap) status fixed point serially.
+            def precompute(f: Function) -> None:
+                memo[f.addr] = base_summary(f)
+
+            rt.parallel_for(
+                [f for f in funcs
+                 if self.noreturn.status_of(f.addr) is ReturnStatus.UNSET],
+                precompute)
+
+            def summary(f: Function) -> tuple[bool, frozenset[int]]:
+                if f.addr not in memo:
+                    memo[f.addr] = base_summary(f)
+                return memo[f.addr]
+
+            released = self.noreturn.resolve_wave(funcs, summary)
+            if not released:
+                self.noreturn.resolve_cycles(funcs)
+                return
+            if self.opts.task_parallel:
+                # Resumed parsing may eagerly release more sites or
+                # discover functions; those spawns must join the *active*
+                # group, or they could still be queued when the cycle rule
+                # runs (a real bug this fixed: a late resume racing
+                # resolve_cycles made statuses schedule-dependent).
+                self._group = rt.task_group()
+                for site in released:
+                    self._group.spawn(self._resume_call_ft, site)
+                self._group.wait()
+            else:
+                rt.parallel_for(released, self._resume_call_ft)
+                current = self._round_discovered
+                while current:
+                    self._round_discovered = []
+                    rt.parallel_for(
+                        current,
+                        lambda fs: self._traverse_task(fs[0], fs[1]))
+                    current = self._round_discovered
+        raise RuntimeError("noreturn wave fixed point did not converge")
+
+
+
+def parse_binary(binary: LoadedBinary, rt: Runtime,
+                 options: ParseOptions | None = None) -> ParsedCFG:
+    """Convenience: run the full parallel parse under ``rt.run``."""
+    parser = ParallelParser(binary, rt, options)
+    return rt.run(parser.execute)

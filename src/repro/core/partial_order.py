@@ -1,0 +1,75 @@
+"""The partial order ``≼`` over control-flow graphs (Section 3).
+
+``G1 ≼ G2`` iff the four conditions of the paper hold:
+
+1. address coverage grows: addresses covered by blocks of G1 are covered
+   by blocks of G2;
+2. explicit control flow is preserved modulo block-range adjustment: for
+   every edge, the (source end, target start) pair survives;
+3. implicit control flow through every G1 block survives as a chain of
+   G2 blocks linked by fall-through edges;
+4. function entry labels are preserved (modulo range adjustment).
+"""
+
+from __future__ import annotations
+
+from repro.core.graphstate import EdgeKind, GraphState
+
+
+def _covers(intervals: list[tuple[int, int]], lo: int, hi: int) -> bool:
+    """True if the merged interval list fully covers [lo, hi)."""
+    for s, e in intervals:
+        if s <= lo and hi <= e:
+            return True
+    return False
+
+
+def addresses_subset(g1: GraphState, g2: GraphState) -> bool:
+    """Condition 1: A1 ⊆ A2."""
+    i2 = g2.address_intervals()
+    return all(_covers(i2, s, e) for s, e in g1.blocks)
+
+
+def edges_preserved(g1: GraphState, g2: GraphState) -> bool:
+    """Condition 2: every (src_end, dst_start) pair of E1 survives in E2."""
+    pairs2 = {(e.src_end, e.dst_start) for e in g2.edges}
+    return all((e.src_end, e.dst_start) in pairs2 for e in g1.edges)
+
+
+def implicit_flow_preserved(g1: GraphState, g2: GraphState) -> bool:
+    """Condition 3: each G1 block is a fall-through chain of G2 blocks."""
+    starts2 = {s: e for s, e in g2.blocks}
+    fall_pairs = {(e.src_end, e.dst_start) for e in g2.edges
+                  if e.kind in (EdgeKind.FALL, EdgeKind.CALL_FT)}
+    for s0, end in g1.blocks:
+        cur = s0
+        hops = 0
+        while True:
+            if cur not in starts2:
+                return False
+            nxt = starts2[cur]
+            if nxt == end:
+                break
+            if nxt > end:
+                return False
+            # Must be linked to the next piece by a fall-through edge.
+            if (nxt, nxt) not in fall_pairs:
+                return False
+            cur = nxt
+            hops += 1
+            if hops > len(g2.blocks):
+                return False  # cycle guard
+    return True
+
+
+def entries_preserved(g1: GraphState, g2: GraphState) -> bool:
+    """Condition 4: every entry of G1 starts a node of G2's entry set."""
+    return g1.entries <= g2.entries
+
+
+def precedes(g1: GraphState, g2: GraphState) -> bool:
+    """``g1 ≼ g2`` per the paper's four conditions."""
+    return (addresses_subset(g1, g2)
+            and edges_preserved(g1, g2)
+            and implicit_flow_preserved(g1, g2)
+            and entries_preserved(g1, g2))

@@ -1,0 +1,108 @@
+"""Property checkers for CFG operations (Section 4).
+
+These helpers make the paper's algebraic claims executable: given a code
+space, a graph and two operations, check commutativity; given an indirect
+oracle, check the monotonic ordering property.  The property-based tests
+drive these across randomly generated code spaces, and the ablation
+benchmarks use the oracle variants to demonstrate why union semantics are
+needed for jump tables.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.graphstate import CodeSpace, GraphState
+from repro.core.operations import IndirectOracle, ober, odec, oiec
+from repro.core.partial_order import precedes
+
+Op = Callable[[GraphState], GraphState]
+
+
+def commutes(g: GraphState, op_a: Op, op_b: Op) -> bool:
+    """True if applying the operations in either order yields equal states."""
+    return op_a(op_b(g)) == op_b(op_a(g))
+
+
+def monotone_ordering_holds(code: CodeSpace, g: GraphState,
+                            indirect_end: int, oracle: IndirectOracle,
+                            other: Op) -> bool:
+    """Check ``Ox(O_IEC(G,a)) ≼ O_IEC(Ox(G),a)`` (Section 4.1).
+
+    ``other`` is the ``O_BER``/``O_DEC`` operation being reordered across
+    the indirect edge creation.
+    """
+    lhs = other(oiec(code, g, indirect_end, oracle))
+    rhs = oiec(code, other(g), indirect_end, oracle)
+    return precedes(lhs, rhs)
+
+
+def make_monotone_oracle(base_targets: dict[int, frozenset[int]],
+                         bonus_if_block: tuple[int, frozenset[int]] | None = None
+                         ) -> IndirectOracle:
+    """A well-behaved oracle: targets only grow as the graph grows.
+
+    ``bonus_if_block`` optionally adds targets once a given block start is
+    present in the graph — modeling 'more control-flow paths reveal more
+    jump-table targets' (the fixed-point refinement of Section 5.3).
+    """
+
+    def oracle(g: GraphState, end: int) -> frozenset[int]:
+        targets = base_targets.get(end, frozenset())
+        if bonus_if_block is not None:
+            start, extra = bonus_if_block
+            if g.has_node_at(start):
+                targets = targets | extra
+        return targets
+
+    return oracle
+
+
+def make_overapprox_oracle(good: dict[int, frozenset[int]],
+                           poisoned_block: int) -> IndirectOracle:
+    """A non-monotone oracle reproducing the Section 4.2 failure.
+
+    Once the ``poisoned_block`` (an over-approximated bogus target) exists
+    in the graph, the analysis is confused and returns the empty set —
+    "such additional but confusing control flow may cause O_IEC(G, b2) to
+    fail, leading to an empty set of targets".
+    """
+
+    def oracle(g: GraphState, end: int) -> frozenset[int]:
+        if g.block_starting(poisoned_block) is not None:
+            return frozenset()
+        return good.get(end, frozenset())
+
+    return oracle
+
+
+def expansion_chain_increases(code: CodeSpace, g0: GraphState,
+                              ops: list[Op]) -> bool:
+    """Check ``G0 ≼ G1 ≼ … ≼ Gm`` for an expansion-phase op sequence."""
+    g = g0
+    for op in ops:
+        nxt = op(g)
+        if not precedes(g, nxt):
+            return False
+        g = nxt
+    return True
+
+
+def resolve_all(code: CodeSpace, g: GraphState,
+                max_steps: int = 10_000) -> GraphState:
+    """Drive O_BER/O_DEC to a fixed point (a pure expansion phase)."""
+    for _ in range(max_steps):
+        changed = False
+        for t in sorted(g.candidates):
+            nxt = ober(code, g, t)
+            if nxt != g:
+                g = nxt
+                changed = True
+        for _, end in sorted(g.blocks):
+            nxt = odec(code, g, end)
+            if nxt != g:
+                g = nxt
+                changed = True
+        if not changed:
+            return g
+    raise RuntimeError("resolve_all did not converge")

@@ -1,0 +1,51 @@
+"""Tail-call identification heuristics (Section 2.1 / Listing 1).
+
+Parse-time heuristics, applied when a direct branch is encountered, in
+this order (as in Dyninst):
+
+1. a branch to a *known function entry* is a tail call;
+2. a branch to a block already reachable through intra-procedural edges
+   of the current function is **not** a tail call;
+3. a branch preceded by stack-frame teardown is a tail call;
+4. otherwise: not a tail call.
+
+These are heuristic and order-sensitive — Listing 1 of the paper shows two
+functions branching to one address where the verdict depends on analysis
+order.  CFG finalization (:mod:`repro.core.finalize`) applies the paper's
+three correction rules to restore a consistent answer.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.core.cfg import Block
+
+
+def is_tail_call(
+    target: int,
+    src_block: Block,
+    is_known_entry: Callable[[int], bool],
+    reached_in_function: Callable[[int], bool],
+) -> bool:
+    """Apply the parse-time heuristics to an unconditional branch."""
+    if is_known_entry(target):
+        return True
+    if reached_in_function(target):
+        return False
+    if src_block.has_teardown:
+        return True
+    return False
+
+
+def conditional_branch_is_tail_call(
+    target: int,
+    is_known_entry: Callable[[int], bool],
+) -> bool:
+    """Conditional branches are tail calls only toward known entries.
+
+    This is how outlined ``.cold`` fragments (separate symbols) end up
+    excluded from their parent function — the behaviour the paper's
+    correctness study observed as difference category 2.
+    """
+    return is_known_entry(target)

@@ -1,0 +1,52 @@
+"""Exception hierarchy for the repro package."""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class EncodingError(ReproError):
+    """An instruction could not be encoded (bad operands, out-of-range imm)."""
+
+
+class InvalidInstructionError(ReproError):
+    """Bytes at an address do not decode to a valid instruction.
+
+    Carries the offending address so CFG construction can terminate a basic
+    block at undecodable bytes, mirroring how Dyninst handles junk bytes.
+    """
+
+    def __init__(self, address: int, reason: str = "invalid opcode"):
+        super().__init__(f"invalid instruction at {address:#x}: {reason}")
+        self.address = address
+        self.reason = reason
+
+
+class ImageFormatError(ReproError):
+    """A binary image or one of its sections failed to parse."""
+
+
+class SectionNotFoundError(ImageFormatError):
+    """A required section is missing from a binary image."""
+
+    def __init__(self, name: str):
+        super().__init__(f"section not found: {name}")
+        self.name = name
+
+
+class SynthesisError(ReproError):
+    """The binary synthesizer was given an unsatisfiable program spec."""
+
+
+class RuntimeConfigError(ReproError):
+    """A parallel runtime was misconfigured (bad worker count, etc.)."""
+
+
+class SimDeadlockError(ReproError):
+    """The virtual-time scheduler detected that all workers are blocked."""
+
+
+class ParseAbortError(ReproError):
+    """CFG construction was aborted (internal invariant violation)."""

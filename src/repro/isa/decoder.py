@@ -1,0 +1,107 @@
+"""Streaming instruction decoder over a code region.
+
+This is the analog of Dyninst's InstructionAPI as used by the CFG parsers:
+given the bytes of a ``.text`` section and its base virtual address, decode
+instructions at arbitrary virtual addresses.  The decoder is stateless after
+construction and therefore safe to share between threads — the paper notes
+that "modifications to Dyninst's instruction decoding code add thread-safety
+to support this" (Section 5.3); here thread-safety falls out of immutability.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterator
+
+from repro.errors import InvalidInstructionError
+from repro.isa.encoding import decode
+from repro.isa.instructions import Instruction
+
+
+class Decoder:
+    """Decodes instructions from a code buffer mapped at ``base``.
+
+    Parameters
+    ----------
+    code:
+        Raw bytes of the executable region.
+    base:
+        Virtual address of ``code[0]``.
+    """
+
+    __slots__ = ("_code", "_base", "_limit")
+
+    def __init__(self, code: bytes, base: int):
+        self._code = memoryview(bytes(code))
+        self._base = base
+        self._limit = base + len(code)
+
+    @property
+    def base(self) -> int:
+        """Lowest decodable virtual address."""
+        return self._base
+
+    @property
+    def limit(self) -> int:
+        """One past the highest decodable virtual address."""
+        return self._limit
+
+    def contains(self, address: int) -> bool:
+        """True if ``address`` lies inside the code region."""
+        return self._base <= address < self._limit
+
+    def decode_at(self, address: int) -> Instruction:
+        """Decode the instruction at a virtual address.
+
+        Raises :class:`InvalidInstructionError` for addresses outside the
+        region or bytes that do not form an instruction.
+        """
+        if not self.contains(address):
+            raise InvalidInstructionError(address, "outside code region")
+        return decode(self._code, address - self._base, address)
+
+    def iter_from(self, address: int) -> Iterator[Instruction]:
+        """Yield consecutive instructions starting at ``address``.
+
+        Iteration stops silently at the end of the region or at the first
+        undecodable byte sequence; CFG construction treats that point as a
+        forced block end.
+        """
+        addr = address
+        while self.contains(addr):
+            try:
+                insn = self.decode_at(addr)
+            except InvalidInstructionError:
+                return
+            yield insn
+            addr = insn.end
+
+    def linear_scan(
+        self, address: int, stop_before: int | None = None
+    ) -> tuple[list[Instruction], bool]:
+        """Decode linearly until a control-flow instruction (inclusive).
+
+        This is the ``linearParsing`` primitive of Listing 3.  Returns the
+        decoded instructions and a flag that is True when the scan ended at a
+        control-flow instruction (False when it ran into undecodable bytes or
+        the end of the region — a forced block end with no outgoing edges).
+
+        ``stop_before`` optionally bounds the scan (exclusive); the scan also
+        stops when the *next* instruction would start at or past it.  The
+        parsers do not use this for correctness (per Invariant 2 the check is
+        deferred to control-flow instructions) but the serial reference parser
+        uses it for the "early block ending" case of ``O_BER``.
+        """
+        insns: list[Instruction] = []
+        addr = address
+        while self.contains(addr):
+            if stop_before is not None and addr >= stop_before:
+                return insns, False
+            try:
+                insn = self.decode_at(addr)
+            except InvalidInstructionError:
+                return insns, False
+            insns.append(insn)
+            if insn.is_control_flow:
+                return insns, True
+            addr = insn.end
+        return insns, False

@@ -1,0 +1,145 @@
+"""Byte-level encoding and decoding of synthetic ISA instructions.
+
+The encoding is variable length (1–10 bytes): one opcode byte followed by an
+opcode-specific operand layout.  Variable length matters for the fidelity of
+the reproduction: linear parsing, block splitting and the "at most one block
+ends at a given address" invariant all interact with instruction boundaries
+exactly as they do on x86-64.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.errors import EncodingError, InvalidInstructionError
+from repro.isa.instructions import Cond, Instruction, Opcode
+from repro.isa.registers import Reg
+
+# Field kinds: 'r' = register byte, 'c' = condition byte,
+# 'i32' = 32-bit little-endian immediate, 'i16' = 16-bit immediate.
+_LAYOUT: dict[Opcode, tuple[str, ...]] = {
+    Opcode.NOP: (),
+    Opcode.HALT: (),
+    Opcode.MOV_RI: ("r", "i32"),
+    Opcode.MOV_RR: ("r", "r"),
+    Opcode.ADD: ("r", "r"),
+    Opcode.SUB: ("r", "r"),
+    Opcode.MUL: ("r", "r"),
+    Opcode.XOR: ("r", "r"),
+    Opcode.AND: ("r", "r"),
+    Opcode.OR: ("r", "r"),
+    Opcode.ADDI: ("r", "i32"),
+    Opcode.CMP_RI: ("r", "i32"),
+    Opcode.CMP_RR: ("r", "r"),
+    Opcode.LOAD: ("r", "r", "i32"),
+    Opcode.STORE: ("r", "i32", "r"),
+    Opcode.LOADIDX: ("r", "r", "r"),
+    Opcode.LEA: ("r", "i32"),
+    Opcode.PUSH: ("r",),
+    Opcode.POP: ("r",),
+    Opcode.ENTER: ("i16",),
+    Opcode.LEAVE: (),
+    Opcode.JMP: ("i32",),
+    Opcode.JCC: ("c", "i32"),
+    Opcode.CALL: ("i32",),
+    Opcode.ICALL: ("r",),
+    Opcode.IJMP: ("r",),
+    Opcode.RET: (),
+}
+
+_FIELD_SIZE = {"r": 1, "c": 1, "i32": 4, "i16": 2}
+
+_LENGTHS: dict[Opcode, int] = {
+    op: 1 + sum(_FIELD_SIZE[f] for f in fields)
+    for op, fields in _LAYOUT.items()
+}
+
+_VALID_OPCODES = frozenset(int(op) for op in Opcode)
+
+#: Longest encoded instruction, in bytes.
+MAX_INSTRUCTION_LENGTH = max(_LENGTHS.values())
+
+
+def instruction_length(opcode: Opcode) -> int:
+    """Encoded length in bytes of instructions with the given opcode."""
+    return _LENGTHS[opcode]
+
+
+def encode(instr: Instruction) -> bytes:
+    """Encode an instruction to bytes.
+
+    Raises :class:`EncodingError` on operand/layout mismatch or
+    out-of-range values.
+    """
+    fields = _LAYOUT.get(instr.opcode)
+    if fields is None:
+        raise EncodingError(f"unknown opcode {instr.opcode!r}")
+    if len(fields) != len(instr.operands):
+        raise EncodingError(
+            f"{instr.opcode.name}: expected {len(fields)} operands, "
+            f"got {len(instr.operands)}"
+        )
+    out = bytearray([int(instr.opcode)])
+    for kind, value in zip(fields, instr.operands):
+        if kind == "r":
+            if not 0 <= value < len(Reg):
+                raise EncodingError(f"register out of range: {value}")
+            out.append(value)
+        elif kind == "c":
+            if not 0 <= value < len(Cond):
+                raise EncodingError(f"condition out of range: {value}")
+            out.append(value)
+        elif kind == "i32":
+            if not 0 <= value < (1 << 32):
+                raise EncodingError(f"imm32 out of range: {value:#x}")
+            out += struct.pack("<I", value)
+        elif kind == "i16":
+            if not 0 <= value < (1 << 16):
+                raise EncodingError(f"imm16 out of range: {value:#x}")
+            out += struct.pack("<H", value)
+        else:  # pragma: no cover - layout table is static
+            raise EncodingError(f"bad field kind {kind}")
+    return bytes(out)
+
+
+def decode(buf: bytes | memoryview, offset: int, address: int) -> Instruction:
+    """Decode one instruction from ``buf`` at ``offset``.
+
+    ``address`` is the virtual address the instruction lives at (recorded in
+    the returned :class:`Instruction`).  Raises
+    :class:`InvalidInstructionError` if the bytes do not form a valid
+    instruction (unknown opcode, truncated operands, bad register).
+    """
+    if offset >= len(buf):
+        raise InvalidInstructionError(address, "past end of code")
+    opbyte = buf[offset]
+    if opbyte not in _VALID_OPCODES:
+        raise InvalidInstructionError(address, f"invalid opcode {opbyte:#04x}")
+    opcode = Opcode(opbyte)
+    fields = _LAYOUT[opcode]
+    length = _LENGTHS[opcode]
+    if offset + length > len(buf):
+        raise InvalidInstructionError(address, "truncated instruction")
+    operands: list[int] = []
+    pos = offset + 1
+    for kind in fields:
+        if kind == "r":
+            v = buf[pos]
+            if v >= len(Reg):
+                raise InvalidInstructionError(address, f"bad register {v}")
+            operands.append(v)
+            pos += 1
+        elif kind == "c":
+            v = buf[pos]
+            if v >= len(Cond):
+                raise InvalidInstructionError(address, f"bad condition {v}")
+            operands.append(v)
+            pos += 1
+        elif kind == "i32":
+            operands.append(struct.unpack_from("<I", buf, pos)[0])
+            pos += 4
+        else:  # i16
+            operands.append(struct.unpack_from("<H", buf, pos)[0])
+            pos += 2
+    return Instruction(address=address, opcode=opcode,
+                       operands=tuple(operands), length=length)

@@ -1,0 +1,55 @@
+"""Parallel runtime substrate.
+
+The paper's speedups come from real hardware threads (TBB + OpenMP inside
+Dyninst).  Under CPython's GIL, real threads cannot reproduce those curves,
+so this package provides two interchangeable backends behind one
+:class:`~repro.runtime.api.Runtime` interface:
+
+- :class:`~repro.runtime.vtime.VirtualTimeRuntime` — a deterministic
+  discrete-event scheduler over N simulated workers.  All costs come from a
+  calibrated :class:`~repro.runtime.cost.CostModel`; locks model contention;
+  the task queue models idleness and load imbalance.  Simulated makespans
+  yield the speedup curves of the evaluation section.
+- :class:`~repro.runtime.threads.ThreadRuntime` — a real thread pool running
+  the *same* algorithm code, used to demonstrate that the five invariants of
+  Section 5.2 are genuinely race-free under preemption.
+- :class:`~repro.runtime.serial.SerialRuntime` — a single-worker fast path
+  used by the serial baseline parser.
+
+The concurrent hash map of Listings 4–6 lives in
+:mod:`repro.runtime.conchash`, built on the runtime lock abstraction so one
+implementation serves every backend.
+"""
+
+from repro.runtime.api import Runtime, TaskGroup
+from repro.runtime.cost import CostModel
+from repro.runtime.serial import SerialRuntime
+from repro.runtime.vtime import VirtualTimeRuntime
+from repro.runtime.threads import ThreadRuntime
+from repro.runtime.conchash import ConcurrentHashMap
+
+__all__ = [
+    "Runtime",
+    "TaskGroup",
+    "CostModel",
+    "SerialRuntime",
+    "VirtualTimeRuntime",
+    "ThreadRuntime",
+    "ConcurrentHashMap",
+]
+
+
+def make_runtime(kind: str, n_workers: int, **kwargs) -> Runtime:
+    """Factory: build a runtime backend by name.
+
+    ``kind`` is one of ``"vtime"``, ``"threads"``, ``"serial"``.
+    """
+    if kind == "vtime":
+        return VirtualTimeRuntime(n_workers, **kwargs)
+    if kind == "threads":
+        return ThreadRuntime(n_workers, **kwargs)
+    if kind == "serial":
+        if n_workers != 1:
+            raise ValueError("serial runtime has exactly one worker")
+        return SerialRuntime(**kwargs)
+    raise ValueError(f"unknown runtime kind: {kind!r}")

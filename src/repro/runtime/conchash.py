@@ -1,0 +1,203 @@
+"""Concurrent hash map with entry-level accessor semantics.
+
+This is the analog of TBB's ``concurrent_hash_map`` as used in the paper's
+Listings 4–6: ``insert`` is an atomic insert-if-absent whose boolean result
+tells the caller whether it created the entry (invariants 1 and 5), and an
+*accessor* holds an entry-level lock for the duration of a compound
+operation (invariants 2–4: block-end registration, edge creation and block
+splitting are mutually exclusive per end address).
+
+Built on the :class:`~repro.runtime.api.Runtime` abstraction so one
+implementation serves all backends: entry locks come from
+``rt.make_lock()`` (contention-modeled on virtual time, real locks on
+threads); the brief shard-table critical sections use
+``rt.make_internal_lock()``; every operation charges ``cost.map_op`` and
+passes a virtual-time checkpoint so map operations are ordered correctly in
+simulated time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from typing import Any, Generic, TypeVar
+
+from repro.runtime.api import Runtime, RtLock
+
+K = TypeVar("K")
+V = TypeVar("V")
+
+_MISSING = object()
+
+
+class _Entry:
+    __slots__ = ("lock", "value")
+
+    def __init__(self, lock: RtLock):
+        self.lock = lock
+        self.value: Any = _MISSING
+
+
+class Accessor(Generic[V]):
+    """A held entry-level lock plus access to the entry's value.
+
+    ``created`` is True when this accessor's acquisition created the entry
+    — the concurrent analogue of TBB ``insert(accessor, key)`` returning
+    true.  Reading ``value`` before it was ever set raises ``KeyError``.
+    """
+
+    __slots__ = ("_entry", "created", "_key")
+
+    def __init__(self, entry: _Entry, created: bool, key: Any):
+        self._entry = entry
+        self.created = created
+        self._key = key
+
+    @property
+    def value(self) -> V:
+        v = self._entry.value
+        if v is _MISSING:
+            raise KeyError(self._key)
+        return v
+
+    @value.setter
+    def value(self, v: V) -> None:
+        self._entry.value = v
+
+    @property
+    def has_value(self) -> bool:
+        return self._entry.value is not _MISSING
+
+
+class ConcurrentHashMap(Generic[K, V]):
+    """Sharded hash map with per-entry locks.
+
+    Thread-safety contract (as in the paper): concurrent ``insert`` /
+    ``accessor`` calls are safe; unsynchronized iteration (``items`` etc.)
+    is only safe once no writers remain (the CFG becomes read-only after
+    construction — Section 7.2).
+    """
+
+    __slots__ = ("_rt", "_shards", "_locks", "_mask")
+
+    def __init__(self, rt: Runtime, n_shards: int = 64):
+        n = 1
+        while n < n_shards:
+            n <<= 1
+        self._rt = rt
+        self._shards: list[dict[K, _Entry]] = [dict() for _ in range(n)]
+        self._locks = [rt.make_internal_lock() for _ in range(n)]
+        self._mask = n - 1
+
+    def _shard_of(self, key: K) -> int:
+        return hash(key) & self._mask
+
+    def _find_or_create(self, key: K, create: bool,
+                        init: Any = _MISSING) -> tuple[_Entry | None, bool]:
+        """Find the entry for ``key``, creating it if requested.
+
+        ``init`` is the initial value installed at creation, *inside* the
+        shard critical section, so a losing inserter can never observe a
+        half-created entry.  Returns ``(entry, created)``; charges one map
+        operation and passes a virtual-time checkpoint.
+        """
+        rt = self._rt
+        rt.charge(rt.cost.map_op)
+        rt.checkpoint()
+        idx = self._shard_of(key)
+        with self._locks[idx]:
+            shard = self._shards[idx]
+            entry = shard.get(key)
+            if entry is not None:
+                return entry, False
+            if not create:
+                return None, False
+            entry = _Entry(rt.make_lock())
+            entry.value = init
+            shard[key] = entry
+            return entry, True
+
+    # -- TBB-style operations ------------------------------------------------
+
+    def insert(self, key: K, value: V) -> bool:
+        """Atomic insert-if-absent (Listing 4).
+
+        Returns True iff this call created the entry.  The losing caller's
+        value is discarded, exactly like ``delete b`` in Listing 4.
+        """
+        _, created = self._find_or_create(key, create=True, init=value)
+        return created
+
+    @contextmanager
+    def accessor(self, key: K, create: bool = True) -> Iterator[Accessor[V] | None]:
+        """Acquire the entry-level lock for ``key`` (Listing 5).
+
+        Yields an :class:`Accessor`, or None when ``create=False`` and the
+        key is absent.  While the accessor is held, no other worker can
+        hold an accessor for the same key — on the virtual-time backend the
+        wait is charged as lock contention.
+        """
+        entry, created = self._find_or_create(key, create)
+        if entry is None:
+            yield None
+            return
+        entry.lock.acquire()
+        try:
+            yield Accessor(entry, created, key)
+        finally:
+            entry.lock.release()
+
+    # -- unsynchronized operations (single-writer or read-only phases) --------
+
+    def get(self, key: K, default: Any = None) -> V | Any:
+        """Read a value without locking (read-only phases)."""
+        entry = self._shards[self._shard_of(key)].get(key)
+        if entry is None or entry.value is _MISSING:
+            return default
+        return entry.value
+
+    def __contains__(self, key: K) -> bool:
+        entry = self._shards[self._shard_of(key)].get(key)
+        return entry is not None and entry.value is not _MISSING
+
+    def __len__(self) -> int:
+        return sum(
+            1
+            for shard in self._shards
+            for e in shard.values()
+            if e.value is not _MISSING
+        )
+
+    def remove(self, key: K) -> bool:
+        """Remove an entry (finalization phase); True if it existed."""
+        rt = self._rt
+        rt.charge(rt.cost.map_op)
+        rt.checkpoint()
+        idx = self._shard_of(key)
+        with self._locks[idx]:
+            return self._shards[idx].pop(key, None) is not None
+
+    def items(self) -> Iterator[tuple[K, V]]:
+        """Iterate (unsynchronized; call only when no writers remain)."""
+        for shard in self._shards:
+            for k, e in shard.items():
+                if e.value is not _MISSING:
+                    yield k, e.value
+
+    def keys(self) -> Iterator[K]:
+        for k, _ in self.items():
+            yield k
+
+    def values(self) -> Iterator[V]:
+        for _, v in self.items():
+            yield v
+
+    def sorted_items(self, key: Callable[[K], Any] | None = None
+                     ) -> list[tuple[K, V]]:
+        """Deterministically ordered items, independent of insertion order.
+
+        Consumers that must produce identical results regardless of worker
+        count iterate through this.
+        """
+        return sorted(self.items(), key=(lambda kv: key(kv[0])) if key else
+                      (lambda kv: kv[0]))

@@ -1,0 +1,66 @@
+"""Cost model for the virtual-time runtime.
+
+All simulated durations are expressed in abstract "cycles".  The defaults
+are calibrated (see ``EXPERIMENTS.md``) so that single-worker stage
+proportions match the paper's one-thread columns; speedup *curves* are never
+tuned directly — they emerge from algorithm structure (task counts, lock
+contention, dependencies, serial phases).
+
+Every charge made by library code goes through a named field here, so
+ablation benchmarks can vary one cost in isolation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation simulated costs, in cycles."""
+
+    # --- instruction level --------------------------------------------------
+    decode_insn: int = 4          #: decode one machine instruction
+    lift_insn: int = 24           #: lift one instruction to IR (slicing)
+
+    # --- concurrent data structures ------------------------------------------
+    map_op: int = 10              #: one concurrent hash map operation
+    lock_handoff: int = 6         #: transfer of a contended entry lock
+
+    # --- CFG construction ----------------------------------------------------
+    block_create: int = 8         #: allocate + register a basic block
+    edge_create: int = 6          #: create one CFG edge
+    block_split: int = 30         #: split a block and move its edges
+    jump_table_base: int = 600    #: fixed overhead of one jump-table analysis
+    jump_table_per_insn: int = 24 #: per sliced instruction in the analysis
+    jump_table_per_target: int = 12  #: per resolved jump-table target
+    func_create: int = 20         #: create a function record
+    noreturn_update: int = 12     #: one return-status update / notification
+    closure_per_block: int = 1    #: reachability walk, per visited block
+    sweep_per_block: int = 1      #: unreachable-sweep pointer chase, per block
+
+    # --- task system ----------------------------------------------------------
+    spawn: int = 40               #: enqueue a task
+    task_pop: int = 20            #: dequeue a task (scheduling overhead)
+
+    # --- binary container -------------------------------------------------------
+    symbol_insert: int = 18       #: insert into the multi-keyed symbol table
+    dwarf_per_die: int = 22       #: parse one debug-info DIE
+    dwarf_per_line: int = 3       #: parse one line-table row
+    io_per_kib: int = 24          #: read 1 KiB of the binary from "disk"
+    output_per_item: int = 10     #: serialize one structure item
+
+    # --- analyses (applications) -------------------------------------------------
+    loop_per_edge: int = 8        #: loop analysis cost per CFG edge
+    liveness_per_insn: int = 6    #: liveness transfer per instruction per pass
+    feature_per_insn: int = 5     #: instruction feature extraction
+    feature_per_edge: int = 7     #: control-flow feature extraction
+    reduce_per_item: int = 2      #: parallel reduction per feature item
+
+    def scaled(self, **overrides: int) -> "CostModel":
+        """Return a copy with some costs replaced (for ablations)."""
+        return replace(self, **overrides)
+
+
+#: Shared default cost model instance.
+DEFAULT_COSTS = CostModel()

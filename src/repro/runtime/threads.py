@@ -1,0 +1,195 @@
+"""Real-thread runtime backend.
+
+Runs the same algorithm code as the virtual-time backend on a genuine
+thread pool with real locks.  Under CPython's GIL this cannot reproduce the
+paper's speedups (DESIGN.md discusses the substitution), but it serves two
+purposes:
+
+- concurrency-correctness testing: the five invariants of Section 5.2 must
+  hold under true preemption (tests shrink ``sys.setswitchinterval`` to
+  provoke races);
+- wall-clock sanity for I/O-free workloads.
+
+``charge`` accounts work units per worker (no sleeping); ``makespan``
+reports elapsed wall-clock seconds of the ``run`` call.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from collections.abc import Callable
+from typing import Any
+
+from repro.errors import RuntimeConfigError
+from repro.runtime.api import Runtime, RtLock, TaskGroup
+from repro.runtime.cost import DEFAULT_COSTS, CostModel
+
+
+class _RealLock(RtLock):
+    __slots__ = ("_lock",)
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+
+    def acquire(self) -> None:
+        self._lock.acquire()
+
+    def release(self) -> None:
+        self._lock.release()
+
+
+class _ThreadGroup(TaskGroup):
+    __slots__ = ("_rt", "_pending")
+
+    def __init__(self, rt: "ThreadRuntime"):
+        self._rt = rt
+        self._pending = 0
+
+    def spawn(self, fn: Callable[..., Any], *args: Any) -> None:
+        rt = self._rt
+        rt.charge(rt.cost.spawn)
+        with rt._mon:
+            if rt._error is not None:
+                raise RuntimeConfigError("runtime aborted") from rt._error
+            self._pending += 1
+            rt._queue.append((self, fn, args))
+            rt._mon.notify_all()
+
+    def wait(self) -> None:
+        rt = self._rt
+        while True:
+            with rt._mon:
+                if rt._error is not None:
+                    raise RuntimeConfigError("runtime aborted") from rt._error
+                if self._pending == 0:
+                    return
+                if rt._queue:
+                    item = rt._queue.popleft()
+                else:
+                    rt._mon.wait()
+                    continue
+            rt._execute(item)
+
+
+class ThreadRuntime(Runtime):
+    """A help-first thread pool behind the Runtime interface."""
+
+    def __init__(self, n_workers: int, cost_model: CostModel | None = None):
+        if n_workers < 1:
+            raise RuntimeConfigError("need at least one worker")
+        self.num_workers = n_workers
+        self.cost = cost_model or DEFAULT_COSTS
+        self.trace = None
+        self._mon = threading.Condition()
+        self._queue: deque[tuple[_ThreadGroup, Callable[..., Any], tuple]] = deque()
+        self._stop = False
+        self._error: BaseException | None = None
+        self._busy = [0] * n_workers
+        self._local = threading.local()
+        self._default_group = _ThreadGroup(self)
+        self._elapsed: float | None = None
+        self._ran = False
+
+    # -- accounting -----------------------------------------------------------
+
+    def charge(self, units: int) -> None:
+        self._busy[self.worker_id()] += units
+
+    def now(self) -> int:
+        return self._busy[self.worker_id()]
+
+    def worker_id(self) -> int:
+        try:
+            return self._local.wid
+        except AttributeError:
+            raise RuntimeConfigError(
+                "runtime API called from outside run()"
+            ) from None
+
+    def make_lock(self) -> RtLock:
+        return _RealLock()
+
+    def make_internal_lock(self) -> RtLock:
+        return _RealLock()
+
+    def task_group(self) -> TaskGroup:
+        return _ThreadGroup(self)
+
+    def spawn(self, fn: Callable[..., Any], *args: Any) -> None:
+        """Spawn into the implicit default group (awaited by run())."""
+        self._default_group.spawn(fn, *args)
+
+    # -- execution ----------------------------------------------------------------
+
+    def _execute(self, item: tuple[_ThreadGroup, Callable[..., Any], tuple]) -> None:
+        group, fn, args = item
+        self.charge(self.cost.task_pop)
+        try:
+            fn(*args)
+        except BaseException as exc:
+            with self._mon:
+                if self._error is None:
+                    self._error = exc
+                group._pending -= 1
+                self._mon.notify_all()
+            return
+        with self._mon:
+            group._pending -= 1
+            self._mon.notify_all()
+
+    def _worker_main(self, wid: int) -> None:
+        self._local.wid = wid
+        while True:
+            with self._mon:
+                while not self._queue and not self._stop \
+                        and self._error is None:
+                    self._mon.wait()
+                if (self._stop and not self._queue) or self._error is not None:
+                    return
+                item = self._queue.popleft()
+            self._execute(item)
+
+    def run(self, fn: Callable[..., Any], *args: Any) -> Any:
+        if self._ran:
+            raise RuntimeConfigError("runtime instances are single-use")
+        self._ran = True
+        self._local.wid = 0
+        threads = [
+            threading.Thread(target=self._worker_main, args=(i,),
+                             daemon=True, name=f"rt-worker-{i}")
+            for i in range(1, self.num_workers)
+        ]
+        t0 = time.perf_counter()
+        for t in threads:
+            t.start()
+        result = None
+        err: BaseException | None = None
+        try:
+            result = fn(*args)
+            self._default_group.wait()
+        except BaseException as exc:
+            err = exc
+        with self._mon:
+            if err is not None and self._error is None:
+                self._error = err
+            self._stop = True
+            self._mon.notify_all()
+        for t in threads:
+            t.join()
+        self._elapsed = time.perf_counter() - t0
+        if self._error is not None:
+            raise self._error
+        return result
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock seconds of the last run (real-time backend)."""
+        if self._elapsed is None:
+            raise RuntimeConfigError("makespan available only after run()")
+        return self._elapsed
+
+    @property
+    def total_busy(self) -> int:
+        return sum(self._busy)

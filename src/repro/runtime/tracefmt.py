@@ -1,0 +1,66 @@
+"""ASCII rendering of execution traces (Figure 2 style).
+
+Renders a :class:`~repro.runtime.api.Trace` as a worker-utilization
+timeline: one row per bucketed group of workers, one column per time
+bucket, with density glyphs showing how busy the workers were.  Phase
+boundaries are marked on a header rail, so the output reads like the
+paper's Figure 2: full columns during parallel phases, a single busy
+worker during serial ones.
+"""
+
+from __future__ import annotations
+
+from repro.runtime.api import Trace
+
+_GLYPHS = " .:-=+*#%@"
+
+
+def render_trace(trace: Trace, width: int = 100,
+                 worker_rows: int = 8) -> str:
+    """Render the trace as text; ``width`` columns over the full span."""
+    if not trace.intervals and not trace.phases:
+        return "(empty trace)"
+    end = max([iv.end for iv in trace.intervals] +
+              [p.end for p in trace.phases] + [1])
+    bucket = max(1, end // width)
+    n_cols = (end + bucket - 1) // bucket
+    rows = min(worker_rows, trace.n_workers)
+    per_row = (trace.n_workers + rows - 1) // rows
+
+    # busy[row][col] = busy cycles of that worker group in that bucket.
+    busy = [[0] * n_cols for _ in range(rows)]
+    for iv in trace.intervals:
+        row = min(iv.worker // per_row, rows - 1)
+        c0 = iv.start // bucket
+        c1 = max(c0, (iv.end - 1) // bucket)
+        for c in range(c0, min(c1 + 1, n_cols)):
+            lo = max(iv.start, c * bucket)
+            hi = min(iv.end, (c + 1) * bucket)
+            busy[row][c] += max(0, hi - lo)
+
+    cap = per_row * bucket
+    out: list[str] = []
+
+    # Phase rail.
+    rail = [" "] * n_cols
+    for i, p in enumerate(trace.phases):
+        c0 = min(p.start // bucket, n_cols - 1)
+        label = str((i % 9) + 1)
+        rail[c0] = "|"
+        if c0 + 1 < n_cols:
+            rail[c0 + 1] = label
+    out.append("phases  " + "".join(rail))
+    for r in range(rows):
+        cells = []
+        for c in range(n_cols):
+            frac = busy[r][c] / cap if cap else 0
+            idx = min(len(_GLYPHS) - 1, int(frac * (len(_GLYPHS) - 1)
+                                            + 0.5))
+            cells.append(_GLYPHS[idx])
+        lo = r * per_row
+        hi = min(trace.n_workers, lo + per_row) - 1
+        out.append(f"w{lo:02d}-{hi:02d} " + "".join(cells))
+    legend = ", ".join(f"{(i % 9) + 1}={p.name}"
+                       for i, p in enumerate(trace.phases))
+    out.append(f"phases: {legend}")
+    return "\n".join(out)

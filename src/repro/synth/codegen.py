@@ -1,0 +1,493 @@
+"""Lowering program specs to binary images plus ground truth.
+
+The generator is a miniature compiler back end: it lays out functions
+sequentially in ``.text``, allocates jump tables contiguously in
+``.rodata`` (adjacent tables are what makes over-approximated jump-table
+scans overflow into a neighbour, Section 5.4), emits symbols (including
+``.cold`` fragments), DWARF-like debug info whose subprogram ranges encode
+shared and non-contiguous functions, unwind entry points, and the ground
+truth the checker verifies against.
+
+Everything is deterministic in the spec: codegen derives its RNG from
+``spec.seed``, so (seed, params) identifies the binary bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.binary import format as fmt
+from repro.binary.dwarf import (
+    CompilationUnit,
+    DebugInfo,
+    FunctionDIE,
+    InlinedCall,
+    LineRow,
+)
+from repro.binary.format import BinaryImage, Section, SectionFlags
+from repro.binary.loader import LoadedBinary, encode_eh_frame
+from repro.binary.symtab import Symbol, SymbolKind, SymbolTable
+from repro.isa.instructions import Cond, Opcode
+from repro.isa.registers import Reg
+from repro.synth.asm import Assembler, L
+from repro.synth.groundtruth import GroundTruth
+from repro.synth.program import (
+    Epilogue,
+    FunctionSpec,
+    ProgramSpec,
+    SegKind,
+    Segment,
+)
+
+TEXT_BASE = 0x0040_1000
+RODATA_BASE = 0x0200_0000
+
+# Registers reserved for jump-table idioms; filler code must not touch
+# them between the bound check and the indirect jump.
+_IDX = Reg.R4
+_BASE = Reg.R5
+_TGT = Reg.R6
+_BND = Reg.R8
+_SPILL = Reg.R9
+_FILLER_REGS = [Reg.R10, Reg.R11, Reg.R12, Reg.R13, Reg.R14, Reg.R15]
+
+
+@dataclass
+class _TableSlot:
+    """A jump table allocated in .rodata, filled after text layout."""
+
+    addr: int
+    case_labels: list[str]
+    obscured: bool
+
+
+@dataclass
+class SynthesizedBinary:
+    """Codegen output: the loadable binary plus its ground truth."""
+
+    binary: LoadedBinary
+    ground_truth: GroundTruth
+    spec: ProgramSpec
+
+    @property
+    def name(self) -> str:
+        return self.binary.name
+
+
+def synthesize(spec: ProgramSpec) -> SynthesizedBinary:
+    """Lower a program spec to a binary image + ground truth."""
+    gen = _CodeGen(spec)
+    return gen.generate()
+
+
+class _CodeGen:
+    def __init__(self, spec: ProgramSpec):
+        self.spec = spec
+        self.rng = random.Random(spec.seed ^ 0x5EED_C0DE)
+        self.asm = Assembler(TEXT_BASE)
+        self.tables: list[_TableSlot] = []
+        self._rodata_cursor = RODATA_BASE
+        self.gt = GroundTruth()
+        # (fn index, call-site label) pairs for GT noreturn call addresses.
+        self._noreturn_call_labels: list[str] = []
+        self._uid = 0
+
+    # -- small helpers ------------------------------------------------------
+
+    def _fresh(self, stem: str) -> str:
+        self._uid += 1
+        return f"{stem}_{self._uid}"
+
+    def _filler(self, n: int) -> None:
+        a = self.asm
+        rng = self.rng
+        for _ in range(n):
+            r = rng.choice(_FILLER_REGS)
+            r2 = rng.choice(_FILLER_REGS)
+            pick = rng.randrange(5)
+            if pick == 0:
+                a.insn(Opcode.MOV_RI, r, rng.randrange(1 << 16))
+            elif pick == 1:
+                a.insn(Opcode.ADD, r, r2)
+            elif pick == 2:
+                a.insn(Opcode.XOR, r, r2)
+            elif pick == 3:
+                a.insn(Opcode.LOAD, r, Reg.FP, rng.randrange(0, 64, 8))
+            else:
+                a.insn(Opcode.MOV_RR, r, r2)
+
+    def _alloc_table(self, n_cases: int, case_labels: list[str],
+                     obscured: bool) -> int:
+        addr = self._rodata_cursor
+        self._rodata_cursor += 8 * n_cases
+        self.tables.append(_TableSlot(addr, case_labels, obscured))
+        return addr
+
+    # -- function emission ------------------------------------------------------
+
+    def _emit_function(self, fn: FunctionSpec) -> None:
+        a = self.asm
+        entry = f"fn_{fn.index}"
+        a.label(entry)
+
+        if fn.name == "error_report":
+            self._emit_error_report(fn)
+            a.label(f"{entry}_end")
+            return
+
+        if fn.has_frame:
+            a.enter(self.rng.randrange(16, 64, 8))
+
+        epilogue_label = self._fresh(f"f{fn.index}_epi")
+
+        if fn.cold_outline:
+            # Unlikely path jumps far away to the outlined cold fragment.
+            a.cmp_ri(_FILLER_REGS[0], 0xDEAD)
+            a.jcc(Cond.EQ, L(f"cold_{fn.index}"))
+
+        for si, seg in enumerate(fn.segments):
+            self._emit_segment(fn, seg, epilogue_label)
+            if fn.secondary_entry and si == 0:
+                a.label(f"fn_{fn.index}_entry2")
+
+        a.label(epilogue_label)
+        self._emit_epilogue(fn)
+        a.label(f"{entry}_end")
+
+    def _emit_error_report(self, fn: FunctionSpec) -> None:
+        """The conditionally non-returning `error` analogue (Section 8.1).
+
+        Returns iff its first argument is zero; a name-matching noreturn
+        analysis cannot model this, which is difference category 1.
+        """
+        a = self.asm
+        ret = self._fresh("err_ret")
+        a.cmp_ri(Reg.R1, 0)
+        a.jcc(Cond.EQ, L(ret))
+        lbl = self._fresh("nrcall")
+        a.label(lbl)
+        a.call(L("fn_0"))  # exit: known noreturn, no fall-through emitted
+        self._noreturn_call_labels.append(lbl)
+        a.label(ret)
+        a.ret()
+
+    def _emit_segment(self, fn: FunctionSpec, seg: Segment,
+                      epilogue_label: str) -> None:
+        a = self.asm
+        if seg.kind is SegKind.LINEAR:
+            self._filler(seg.filler)
+        elif seg.kind is SegKind.DIAMOND:
+            els = self._fresh(f"f{fn.index}_else")
+            join = self._fresh(f"f{fn.index}_join")
+            a.cmp_ri(self.rng.choice(_FILLER_REGS), self.rng.randrange(64))
+            a.jcc(self.rng.choice([Cond.EQ, Cond.NE, Cond.LT, Cond.GT]),
+                  L(els))
+            self._filler(max(1, seg.filler // 2))
+            a.jmp(L(join))
+            a.label(els)
+            self._filler(max(1, seg.filler - seg.filler // 2))
+            a.label(join)
+        elif seg.kind is SegKind.LOOP:
+            head = self._fresh(f"f{fn.index}_head")
+            exit_ = self._fresh(f"f{fn.index}_exit")
+            ctr = self.rng.choice(_FILLER_REGS)
+            a.mov_ri(ctr, seg.loop_trips)
+            a.label(head)
+            a.cmp_ri(ctr, 0)
+            a.jcc(Cond.EQ, L(exit_))
+            self._filler(seg.filler)
+            a.insn(Opcode.ADDI, ctr, (1 << 32) - 1)  # ctr -= 1
+            a.jmp(L(head))
+            a.label(exit_)
+        elif seg.kind is SegKind.EARLY_RET:
+            skip = self._fresh(f"f{fn.index}_skip")
+            a.cmp_ri(self.rng.choice(_FILLER_REGS), self.rng.randrange(64))
+            a.jcc(Cond.NE, L(skip))
+            if fn.has_frame:
+                a.leave()
+            a.ret()
+            a.label(skip)
+            self._filler(seg.filler)
+        elif seg.kind is SegKind.CALL:
+            self._filler(seg.filler)
+            a.mov_ri(Reg.R1, self.rng.randrange(16))
+            a.call(L(f"fn_{seg.callee}"))
+        elif seg.kind is SegKind.SWITCH:
+            self._emit_switch(fn, seg)
+        else:  # pragma: no cover - enum is closed
+            raise AssertionError(seg.kind)
+
+    def _emit_switch(self, fn: FunctionSpec, seg: Segment) -> None:
+        a = self.asm
+        sw = seg.switch
+        assert sw is not None
+        k = sw.n_cases
+        default = self._fresh(f"f{fn.index}_swdef")
+        merge = self._fresh(f"f{fn.index}_swmerge")
+        case_labels = [self._fresh(f"f{fn.index}_case{c}")
+                       for c in range(k)]
+        table_addr = self._alloc_table(k, case_labels, sw.obscured_bound)
+        self.gt.jump_tables[table_addr] = k
+
+        # The switch index is a runtime value (loaded from memory): the
+        # slice must treat it as opaque, or the "table" would constant-
+        # fold to a single target.
+        a.insn(Opcode.LOAD, _IDX, Reg.FP, 24)
+        if sw.obscured_bound:
+            # Bound comes through memory: backward slicing cannot recover
+            # it, so the analysis falls back to scanning (over-approx trap).
+            a.insn(Opcode.LOAD, _BND, Reg.FP, 8)
+            a.insn(Opcode.CMP_RR, _IDX, _BND)
+        else:
+            a.cmp_ri(_IDX, k - 1)
+        a.jcc(Cond.A, L(default))
+        if sw.stack_spill:
+            # Table base round-trips through the stack: difference
+            # category 3 (unresolvable jump table).
+            a.insn(Opcode.LEA, _BASE, table_addr)
+            a.insn(Opcode.STORE, Reg.FP, 16, _BASE)
+            self._filler(1)
+            a.insn(Opcode.LOAD, _SPILL, Reg.FP, 16)
+            a.insn(Opcode.LOADIDX, _TGT, _SPILL, _IDX)
+        else:
+            a.insn(Opcode.LEA, _BASE, table_addr)
+            a.insn(Opcode.LOADIDX, _TGT, _BASE, _IDX)
+        a.insn(Opcode.IJMP, _TGT)
+        for c, lbl in enumerate(case_labels):
+            a.label(lbl)
+            self._filler(1 if c % 2 else 2)
+            a.jmp(L(merge))
+        a.label(default)
+        self._filler(1)
+        a.label(merge)
+        self._filler(seg.filler)
+
+    def _emit_epilogue(self, fn: FunctionSpec) -> None:
+        a = self.asm
+        if fn.shared_error_group is not None:
+            # Unlikely error path into the block shared by the group.
+            a.cmp_ri(_FILLER_REGS[1], 0)
+            a.jcc(Cond.NE, L(f"err_common_{fn.shared_error_group}"))
+        if fn.epilogue is Epilogue.RET:
+            if fn.has_frame:
+                a.leave()
+            a.ret()
+        elif fn.epilogue is Epilogue.TAIL_CALL:
+            if fn.has_frame:
+                a.leave()
+            if fn.listing1_shared_jmp is not None:
+                a.jmp(L(f"l1_shared_{fn.listing1_shared_jmp}"))
+            else:
+                a.jmp(L(f"fn_{fn.tail_target}"))
+        elif fn.epilogue is Epilogue.NORETURN_CALL:
+            lbl = self._fresh("nrcall")
+            a.label(lbl)
+            a.call(L(f"fn_{fn.noreturn_callee}"))
+            self._noreturn_call_labels.append(lbl)
+        elif fn.epilogue is Epilogue.HALT:
+            a.halt()
+        elif fn.epilogue is Epilogue.ERROR_CALL:
+            # Calls error_report with a nonzero argument: never returns,
+            # but only the ground truth knows (difference category 1).
+            a.mov_ri(Reg.R1, 1 + self.rng.randrange(7))
+            lbl = self._fresh("nrcall")
+            a.label(lbl)
+            a.call(L("fn_1"))
+            self._noreturn_call_labels.append(lbl)
+        else:  # pragma: no cover - enum is closed
+            raise AssertionError(fn.epilogue)
+
+    def _emit_cold_region(self, fn: FunctionSpec) -> None:
+        a = self.asm
+        a.label(f"cold_{fn.index}")
+        self._filler(3)
+        lbl = self._fresh("nrcall")
+        a.label(lbl)
+        a.call(L("fn_0"))
+        self._noreturn_call_labels.append(lbl)
+        a.label(f"cold_{fn.index}_end")
+
+    # -- whole-binary assembly ---------------------------------------------------
+
+    def generate(self) -> SynthesizedBinary:
+        spec = self.spec
+        a = self.asm
+
+        for fn in spec.functions:
+            self._emit_function(fn)
+            # Padding (junk bytes) between some functions; never after
+            # functions whose fall-through behaviour the checker measures.
+            if (fn.epilogue in (Epilogue.RET, Epilogue.HALT, Epilogue.TAIL_CALL)
+                    and self.rng.random() < 0.15):
+                a.raw(b"\xff" * self.rng.randint(1, 8))
+
+        # Deferred regions: cold fragments, shared error blocks, Listing 1
+        # shared tail targets.
+        for fn in spec.functions:
+            if fn.cold_outline:
+                self._emit_cold_region(fn)
+        for g in range(spec.n_shared_error_groups):
+            a.label(f"err_common_{g}")
+            a.mov_ri(Reg.R0, 0xFFFF)
+            self._filler(2)
+            a.ret()
+            a.label(f"err_common_{g}_end")
+        l1_ids = sorted({fn.listing1_shared_jmp for fn in spec.functions
+                         if fn.listing1_shared_jmp is not None})
+        for j in l1_ids:
+            a.label(f"l1_shared_{j}")
+            self._filler(2)
+            a.ret()
+            a.label(f"l1_shared_{j}_end")
+
+        code, labels = a.assemble()
+
+        image = BinaryImage(name=spec.name)
+        image.add_section(Section(fmt.TEXT, TEXT_BASE, code,
+                                  SectionFlags.EXEC))
+        image.add_section(Section(fmt.RODATA, RODATA_BASE,
+                                  self._build_rodata(labels),
+                                  SectionFlags.DATA))
+
+        symtab, dynsym, eh_starts = self._build_symbols(labels)
+        image.add_section(Section(fmt.SYMTAB, 0, symtab.to_bytes(),
+                                  SectionFlags.DEBUG_INFO))
+        image.add_section(Section(fmt.DYNSYM, 0, dynsym.to_bytes(),
+                                  SectionFlags.DEBUG_INFO))
+        image.add_section(Section(fmt.EH_FRAME, 0,
+                                  encode_eh_frame(eh_starts),
+                                  SectionFlags.DEBUG_INFO))
+        debug = self._build_debug_info(labels)
+        image.add_section(Section(fmt.DEBUG, 0, debug.to_bytes(),
+                                  SectionFlags.DEBUG_INFO))
+
+        self._build_ground_truth(labels)
+        return SynthesizedBinary(binary=LoadedBinary(image),
+                                 ground_truth=self.gt, spec=spec)
+
+    def _build_rodata(self, labels: dict[str, int]) -> bytes:
+        out = bytearray()
+        cursor = RODATA_BASE
+        for slot in self.tables:
+            assert slot.addr == cursor, "tables must be contiguous"
+            for lbl in slot.case_labels:
+                out += labels[lbl].to_bytes(8, "little")
+            cursor += 8 * len(slot.case_labels)
+        out += b"\x00" * 8  # terminator word after the last table
+        return bytes(out)
+
+    def _build_symbols(self, labels: dict[str, int]
+                       ) -> tuple[SymbolTable, SymbolTable, list[int]]:
+        symtab = SymbolTable()
+        dynsym = SymbolTable()
+        eh_starts: list[int] = []
+        for fn in self.spec.functions:
+            if fn.hidden:
+                continue
+            entry = labels[f"fn_{fn.index}"]
+            size = labels[f"fn_{fn.index}_end"] - entry
+            sym = Symbol(fn.name, entry, size)
+            symtab.add(sym)
+            eh_starts.append(entry)
+            if fn.index % 7 == 0:
+                dynsym.add(sym)  # a subset is dynamically exported
+            if fn.cold_outline:
+                cold = labels[f"cold_{fn.index}"]
+                cold_size = labels[f"cold_{fn.index}_end"] - cold
+                pretty = sym.pretty_name
+                symtab.add(Symbol(f"{pretty}.cold", cold, cold_size))
+                eh_starts.append(cold)
+            if fn.secondary_entry:
+                e2 = labels[f"fn_{fn.index}_entry2"]
+                symtab.add(Symbol(f"{sym.pretty_name}__entry2", e2,
+                                  entry + size - e2))
+                eh_starts.append(e2)
+        return symtab, dynsym, eh_starts
+
+    def _fn_ranges(self, fn: FunctionSpec, labels: dict[str, int]
+                   ) -> list[tuple[int, int]]:
+        """DWARF-semantics ranges: hot part, cold part, shared blocks."""
+        entry = labels[f"fn_{fn.index}"]
+        end = labels[f"fn_{fn.index}_end"]
+        ranges = [(entry, end)]
+        if fn.cold_outline:
+            ranges.append((labels[f"cold_{fn.index}"],
+                           labels[f"cold_{fn.index}_end"]))
+        if fn.shared_error_group is not None:
+            g = fn.shared_error_group
+            ranges.append((labels[f"err_common_{g}"],
+                           labels[f"err_common_{g}_end"]))
+        return ranges
+
+    def _build_debug_info(self, labels: dict[str, int]) -> DebugInfo:
+        spec = self.spec
+        cus: dict[str, CompilationUnit] = {}
+        rng = random.Random(spec.seed ^ 0xD3B06)
+        for fn in spec.functions:
+            cu = cus.get(fn.cu)
+            if cu is None:
+                # CU sizes are heavily skewed in real debug info (a few
+                # template-instantiation units dwarf the rest); Figure 2's
+                # phase 2 idles on exactly this imbalance.
+                n_types = max(1, int(spec.type_dies_per_cu
+                                     * rng.lognormvariate(0.0, 0.9)))
+                cu = CompilationUnit(fn.cu, n_type_dies=n_types)
+                cus[fn.cu] = cu
+            entry = labels[f"fn_{fn.index}"]
+            end = labels[f"fn_{fn.index}_end"]
+            die = FunctionDIE(fn.name, ranges=self._fn_ranges(fn, labels),
+                              decl_file=fn.cu, decl_line=fn.decl_line)
+            die.inlines = self._make_inlines(rng, fn, entry, end)
+            cu.functions.append(die)
+            span = max(1, end - entry)
+            n_rows = max(1, spec.lines_per_function)
+            for j in range(n_rows):
+                cu.line_rows.append(LineRow(entry + j * span // n_rows,
+                                            fn.cu, fn.decl_line + j))
+        for cu in cus.values():
+            cu.line_rows.sort(key=lambda r: r.addr)
+        return DebugInfo(cus=list(cus.values()))
+
+    def _make_inlines(self, rng: random.Random, fn: FunctionSpec,
+                      lo: int, hi: int) -> list[InlinedCall]:
+        def make(depth: int, lo: int, hi: int) -> list[InlinedCall]:
+            if depth <= 0 or hi - lo < 8:
+                return []
+            mid_lo = lo + (hi - lo) // 4
+            mid_hi = hi - (hi - lo) // 4
+            inl = InlinedCall(
+                callee=f"inl_{rng.randrange(1 << 16):04x}",
+                call_file=fn.cu, call_line=fn.decl_line + depth,
+                ranges=[(mid_lo, mid_hi)],
+                children=make(depth - 1, mid_lo, mid_hi),
+            )
+            return [inl]
+
+        return make(fn.inline_depth, lo, hi)
+
+    def _build_ground_truth(self, labels: dict[str, int]) -> None:
+        spec = self.spec
+        gt = self.gt
+        for fn in spec.functions:
+            entry = labels[f"fn_{fn.index}"]
+            gt.entry_names[entry] = fn.name
+            for lo, hi in self._fn_ranges(fn, labels):
+                gt.add_function_range(fn.name, lo, hi)
+            if fn.secondary_entry:
+                e2 = labels[f"fn_{fn.index}_entry2"]
+                end = labels[f"fn_{fn.index}_end"]
+                name2 = f"{fn.name}__entry2"
+                gt.entry_names[e2] = name2
+                gt.add_function_range(name2, e2, end)
+        # Listing 1 shared tail targets are functions of their own in the
+        # stable (post-correction) answer.
+        for name, addr in labels.items():
+            if name.startswith("l1_shared_") and not name.endswith("_end"):
+                j = name.removeprefix("l1_shared_")
+                gt.entry_names[addr] = name
+                gt.add_function_range(name, addr,
+                                      labels[f"l1_shared_{j}_end"])
+        for lbl in self._noreturn_call_labels:
+            gt.noreturn_calls.add(labels[lbl])
+        gt.normalize()

@@ -1,0 +1,57 @@
+"""Ground truth emitted alongside synthesized binaries.
+
+Plays the role of the paper's DWARF + RTL-derived ground truth
+(Section 8.1): function address ranges (supporting non-contiguous
+functions and ranges shared by several functions), jump-table locations
+and sizes, and the addresses of call instructions whose callee never
+returns.  The correctness checker (:mod:`repro.apps.checker`) compares
+parsed CFGs against this.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+Range = tuple[int, int]
+
+
+def merge_ranges(ranges: list[Range]) -> list[Range]:
+    """Normalize: sort and coalesce adjacent/overlapping address ranges."""
+    out: list[Range] = []
+    for lo, hi in sorted(r for r in ranges if r[0] < r[1]):
+        if out and lo <= out[-1][1]:
+            out[-1] = (out[-1][0], max(out[-1][1], hi))
+        else:
+            out.append((lo, hi))
+    return out
+
+
+@dataclass
+class GroundTruth:
+    """Everything the checker verifies, for one binary."""
+
+    #: function name -> merged, sorted list of [lo, hi) address ranges,
+    #: as a DWARF .debug_info section would encode them.
+    function_ranges: dict[str, list[Range]] = field(default_factory=dict)
+
+    #: jump table address in .rodata -> number of entries, as RTL dumps
+    #: would encode them.
+    jump_tables: dict[int, int] = field(default_factory=dict)
+
+    #: addresses of CALL instructions whose callee does not return
+    #: (REG_NORETURN in RTL terms).
+    noreturn_calls: set[int] = field(default_factory=set)
+
+    #: function entry address -> name (layout bookkeeping for reports).
+    entry_names: dict[int, str] = field(default_factory=dict)
+
+    def add_function_range(self, name: str, lo: int, hi: int) -> None:
+        self.function_ranges.setdefault(name, []).append((lo, hi))
+
+    def normalize(self) -> None:
+        """Merge and sort all recorded ranges (call once after building)."""
+        for name, ranges in self.function_ranges.items():
+            self.function_ranges[name] = merge_ranges(ranges)
+
+    def range_of(self, name: str) -> list[Range]:
+        return self.function_ranges.get(name, [])

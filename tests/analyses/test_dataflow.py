@@ -1,0 +1,194 @@
+"""Tests for liveness, stack-height and slicing analyses."""
+
+import pytest
+
+from repro.analyses import backward_slice, liveness, stack_heights, TOP
+from repro.core import parse_binary
+from repro.isa import Cond, Opcode, Reg
+from repro.runtime import SerialRuntime
+from repro.synth.asm import L
+
+from tests.core.test_parallel_parser import make_binary
+
+
+def parse(build, symbols):
+    binary, labels = make_binary(build, symbols)
+    return parse_binary(binary, SerialRuntime()), labels
+
+
+class TestLiveness:
+    def test_straight_line_liveness(self):
+        def build(a):
+            a.label("main")
+            a.insn(Opcode.MOV_RI, Reg.R1, 5)   # def R1
+            a.insn(Opcode.MOV_RR, Reg.R2, Reg.R1)  # use R1, def R2
+            a.insn(Opcode.ADD, Reg.R0, Reg.R2)     # use R0,R2 def R0
+            a.ret()
+
+        cfg, labels = parse(build, {"main": "main"})
+        f = cfg.function_at(labels["main"])
+        res = liveness(f)
+        live_in = res.live_in_regs(labels["main"])
+        # R1 and R2 are defined before use: not live at entry. R0 is used
+        # before its redefinition: live.
+        assert Reg.R1 not in live_in
+        assert Reg.R2 not in live_in
+        assert Reg.R0 in live_in
+
+    def test_branch_merges_liveness(self):
+        def build(a):
+            a.label("main")
+            a.cmp_ri(Reg.R5, 0)
+            a.jcc(Cond.EQ, L("else_"))
+            a.insn(Opcode.MOV_RR, Reg.R0, Reg.R6)  # uses R6 on one path
+            a.jmp(L("join"))
+            a.label("else_")
+            a.insn(Opcode.MOV_RR, Reg.R0, Reg.R7)  # uses R7 on the other
+            a.label("join")
+            a.ret()
+
+        cfg, labels = parse(build, {"main": "main"})
+        f = cfg.function_at(labels["main"])
+        res = liveness(f)
+        live_in = res.live_in_regs(labels["main"])
+        assert Reg.R6 in live_in and Reg.R7 in live_in
+        assert Reg.R5 in live_in  # compared before any def
+
+    def test_loop_liveness_converges(self):
+        def build(a):
+            a.label("main")
+            a.insn(Opcode.MOV_RI, Reg.R1, 3)
+            a.label("head")
+            a.cmp_ri(Reg.R1, 0)
+            a.jcc(Cond.EQ, L("out"))
+            a.insn(Opcode.ADD, Reg.R2, Reg.R1)  # R2 live around the loop
+            a.jmp(L("head"))
+            a.label("out")
+            a.ret()
+
+        cfg, labels = parse(build, {"main": "main"})
+        f = cfg.function_at(labels["main"])
+        res = liveness(f)
+        assert Reg.R2 in res.live_in_regs(labels["head"])
+        assert Reg.R1 in res.live_in_regs(labels["head"])
+        assert res.max_live() >= 2
+        assert res.avg_live() > 0
+
+    def test_empty_function(self):
+        def build(a):
+            a.label("main")
+            a.ret()
+
+        cfg, labels = parse(build, {"main": "main"})
+        res = liveness(cfg.function_at(labels["main"]))
+        assert res.max_live() >= 1  # boundary regs
+
+
+class TestStackHeights:
+    def test_frame_setup_and_teardown(self):
+        def build(a):
+            a.label("main")
+            a.enter(24)
+            a.nop()
+            a.leave()
+            a.ret()
+
+        cfg, labels = parse(build, {"main": "main"})
+        f = cfg.function_at(labels["main"])
+        res = stack_heights(f)
+        assert res.height_out[labels["main"]] == 0
+        assert res.teardown_before(labels["main"])
+
+    def test_push_pop_balance(self):
+        def build(a):
+            a.label("main")
+            a.insn(Opcode.PUSH, Reg.R1)
+            a.insn(Opcode.PUSH, Reg.R2)
+            a.insn(Opcode.POP, Reg.R2)
+            a.insn(Opcode.POP, Reg.R1)
+            a.ret()
+
+        cfg, labels = parse(build, {"main": "main"})
+        res = stack_heights(cfg.function_at(labels["main"]))
+        assert res.height_out[labels["main"]] == 0
+
+    def test_unbalanced_paths_meet_to_top(self):
+        def build(a):
+            a.label("main")
+            a.cmp_ri(Reg.R1, 0)
+            a.jcc(Cond.EQ, L("nopush"))
+            a.insn(Opcode.PUSH, Reg.R1)
+            a.jmp(L("join"))
+            a.label("nopush")
+            a.nop()
+            a.label("join")
+            a.ret()
+
+        cfg, labels = parse(build, {"main": "main"})
+        res = stack_heights(cfg.function_at(labels["main"]))
+        assert res.height_in[labels["join"]] is TOP
+
+    def test_height_tracks_frame(self):
+        def build(a):
+            a.label("main")
+            a.enter(16)       # -8 (push fp) -16 (frame) = -24
+            a.insn(Opcode.PUSH, Reg.R1)  # -32
+            a.cmp_ri(Reg.R1, 0)
+            a.jcc(Cond.EQ, L("deep"))
+            a.ret()
+            a.label("deep")
+            a.ret()
+
+        cfg, labels = parse(build, {"main": "main"})
+        res = stack_heights(cfg.function_at(labels["main"]))
+        assert res.height_in[labels["deep"]] == -32
+
+
+class TestSlicing:
+    def test_slice_within_block(self):
+        def build(a):
+            a.label("main")
+            a.insn(Opcode.MOV_RI, Reg.R1, 5)
+            a.insn(Opcode.MOV_RI, Reg.R9, 9)       # unrelated
+            a.insn(Opcode.MOV_RR, Reg.R2, Reg.R1)
+            a.insn(Opcode.ADD, Reg.R2, Reg.R2)
+            a.ret()
+
+        cfg, labels = parse(build, {"main": "main"})
+        f = cfg.function_at(labels["main"])
+        b = f.blocks[0]
+        res = backward_slice(f, b, len(b.insns) - 1, {Reg.R2})
+        ops = [i.opcode for i in res.instructions]
+        assert Opcode.ADD in ops and Opcode.MOV_RR in ops
+        assert ops.count(Opcode.MOV_RI) == 1  # only the R1 def, not R9
+        assert not res.escaped
+
+    def test_slice_across_blocks(self):
+        def build(a):
+            a.label("main")
+            a.insn(Opcode.MOV_RI, Reg.R3, 7)
+            a.cmp_ri(Reg.R1, 0)
+            a.jcc(Cond.EQ, L("use"))
+            a.label("use")
+            a.insn(Opcode.MOV_RR, Reg.R4, Reg.R3)
+            a.ret()
+
+        cfg, labels = parse(build, {"main": "main"})
+        f = cfg.function_at(labels["main"])
+        use_block = next(b for b in f.blocks if b.start == labels["use"])
+        res = backward_slice(f, use_block, len(use_block.insns) - 1,
+                             {Reg.R4})
+        assert any(i.opcode is Opcode.MOV_RI and i.operands[0] == Reg.R3
+                   for i in res.instructions)
+
+    def test_escaped_registers_reported(self):
+        def build(a):
+            a.label("main")
+            a.insn(Opcode.MOV_RR, Reg.R2, Reg.R1)  # R1 never defined here
+            a.ret()
+
+        cfg, labels = parse(build, {"main": "main"})
+        f = cfg.function_at(labels["main"])
+        b = f.blocks[0]
+        res = backward_slice(f, b, len(b.insns) - 1, {Reg.R2})
+        assert Reg.R1 in res.escaped

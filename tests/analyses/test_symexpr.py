@@ -1,0 +1,162 @@
+"""Tests for the symbolic expression lifter (ROSE IR analog)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.analyses.symexpr import (
+    BinOp,
+    Const,
+    Load,
+    RegInit,
+    SymEnv,
+    TablePattern,
+    binop,
+    lift_slice,
+    match_table_pattern,
+)
+from repro.core import EdgeType, parse_binary
+from repro.isa import Instruction, Opcode, Reg
+from repro.isa.encoding import instruction_length
+from repro.runtime import SerialRuntime
+
+
+def mk(op, *operands, address=0):
+    return Instruction(address, op, tuple(operands),
+                       instruction_length(op))
+
+
+class TestConstantFolding:
+    def test_fold_addition(self):
+        assert binop("+", Const(2), Const(3)) == Const(5)
+
+    def test_fold_multiplication(self):
+        assert binop("*", Const(4), Const(8)) == Const(32)
+
+    def test_fold_wraps_64_bits(self):
+        assert binop("+", Const((1 << 64) - 1), Const(2)) == Const(1)
+
+    def test_symbolic_not_folded(self):
+        e = binop("+", RegInit(Reg.R1), Const(3))
+        assert isinstance(e, BinOp)
+        assert e.const_value is None
+
+    @given(st.integers(0, 2**32), st.integers(0, 2**32))
+    def test_fold_matches_python(self, a, b):
+        assert binop("+", Const(a), Const(b)).const_value == \
+            (a + b) & (2**64 - 1)
+        assert binop("^", Const(a), Const(b)).const_value == a ^ b
+
+
+class TestLifting:
+    def test_mov_ri_is_const(self):
+        expr = lift_slice([mk(Opcode.MOV_RI, Reg.R1, 42)], Reg.R1)
+        assert expr == Const(42)
+
+    def test_copy_chain(self):
+        expr = lift_slice([
+            mk(Opcode.LEA, Reg.R1, 0x5000),
+            mk(Opcode.MOV_RR, Reg.R2, Reg.R1),
+            mk(Opcode.MOV_RR, Reg.R3, Reg.R2),
+        ], Reg.R3)
+        assert expr == Const(0x5000)
+
+    def test_arith_on_consts(self):
+        expr = lift_slice([
+            mk(Opcode.MOV_RI, Reg.R1, 10),
+            mk(Opcode.MOV_RI, Reg.R2, 4),
+            mk(Opcode.ADD, Reg.R1, Reg.R2),
+        ], Reg.R1)
+        assert expr == Const(14)
+
+    def test_unknown_register_is_reginit(self):
+        expr = lift_slice([], Reg.R5)
+        assert expr == RegInit(Reg.R5)
+
+    def test_load_wraps_address(self):
+        expr = lift_slice([mk(Opcode.LOAD, Reg.R1, Reg.FP, 24)], Reg.R1)
+        assert isinstance(expr, Load)
+        assert isinstance(expr.addr, BinOp)
+
+    def test_loadidx_shape(self):
+        expr = lift_slice([
+            mk(Opcode.LEA, Reg.R5, 0x2000),
+            mk(Opcode.LOAD, Reg.R4, Reg.FP, 24),
+            mk(Opcode.LOADIDX, Reg.R6, Reg.R5, Reg.R4),
+        ], Reg.R6)
+        assert isinstance(expr, Load)
+        pat = match_table_pattern(expr)
+        assert isinstance(pat, TablePattern)
+        assert pat.base == 0x2000
+        assert pat.scale == 8
+        assert pat.index.const_value is None
+
+    def test_call_clobbers_to_opaque(self):
+        env = SymEnv()
+        env.set(Reg.R1, Const(7))
+        env.step(mk(Opcode.CALL, 0x100))
+        assert env.get(Reg.R1) == RegInit(Reg.R1)
+
+
+class TestPatternMatching:
+    def test_constant_target(self):
+        assert match_table_pattern(Const(0x4000)) == Const(0x4000)
+
+    def test_spilled_base_unmatched(self):
+        # Load(Load(fp+16) + idx*8): base out of memory -> unresolvable.
+        expr = Load(binop("+", Load(binop("+", RegInit(Reg.FP),
+                                          Const(16))),
+                          binop("*", RegInit(Reg.R4), Const(8))))
+        assert match_table_pattern(expr) is None
+
+    def test_plain_reginit_unmatched(self):
+        assert match_table_pattern(RegInit(Reg.R1)) is None
+
+    def test_constant_index_table(self):
+        expr = Load(binop("+", Const(0x2000),
+                          binop("*", Const(3), Const(8))))
+        pat = match_table_pattern(expr)
+        # Fully folded to Load(Const): a one-entry table at 0x2018.
+        assert isinstance(pat, TablePattern)
+        assert pat.base == 0x2018
+        assert pat.index.const_value == 0
+
+    def test_commuted_operands(self):
+        expr = Load(binop("+", binop("*", RegInit(Reg.R4), Const(8)),
+                          Const(0x3000)))
+        pat = match_table_pattern(expr)
+        assert isinstance(pat, TablePattern)
+        assert pat.base == 0x3000
+
+
+class TestConstantFoldedIndirectJump:
+    def test_ijmp_to_materialized_constant(self):
+        """`lea r; ijmp r` resolves to exactly one static target."""
+        from tests.core.test_parallel_parser import make_binary
+
+        def build(a):
+            from repro.synth.asm import L
+
+            a.label("main")
+            a.insn(Opcode.LEA, Reg.R3, 0)  # patched below via label math
+            a.insn(Opcode.IJMP, Reg.R3)
+            a.label("landing")
+            a.ret()
+
+        # Assemble once to learn the landing address, then rebuild.
+        binary, labels = make_binary(build, {"main": "main"})
+
+        def build2(a):
+            a.label("main")
+            a.insn(Opcode.LEA, Reg.R3, labels["landing"])
+            a.insn(Opcode.IJMP, Reg.R3)
+            a.label("landing")
+            a.ret()
+
+        binary, labels = make_binary(build2, {"main": "main"})
+        cfg = parse_binary(binary, SerialRuntime())
+        ind = [e for e in cfg.edges() if e.etype is EdgeType.INDIRECT]
+        assert len(ind) == 1
+        assert ind[0].dst.start == labels["landing"]
+        [jt] = cfg.jump_tables
+        assert jt.bounded and jt.n_entries == 1
+        assert jt.table_addr is None  # a resolved jump, not a table

@@ -1,0 +1,72 @@
+"""Tests for the BinFeat application."""
+
+import pytest
+
+from repro.apps.binfeat import binfeat
+from repro.runtime import SerialRuntime, VirtualTimeRuntime
+from repro.synth import tiny_binary
+
+STAGES = ["cfg", "instruction_features", "control_flow_features",
+          "data_flow_features", "reduce"]
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    return [tiny_binary(seed=s, n_functions=16, name=f"bin{s}").binary
+            for s in (11, 12, 13)]
+
+
+@pytest.fixture(scope="module")
+def result(corpus):
+    return binfeat(corpus, VirtualTimeRuntime(4))
+
+
+class TestStages:
+    def test_all_stages_timed(self, result):
+        assert list(result.stage_durations) == STAGES
+        assert all(v > 0 for v in result.stage_durations.values())
+
+    def test_counts(self, corpus, result):
+        assert result.n_binaries == 3
+        assert result.n_functions > 30  # ~17 functions per binary
+
+    def test_feature_kinds_present(self, result):
+        kinds = {k[0] for k in result.feature_index}
+        assert kinds >= {"ngram", "loops", "loop_depth", "degree",
+                         "max_live", "avg_live"}
+
+    def test_ngram_features_counted(self, result):
+        ngrams = {k: v for k, v in result.feature_index.items()
+                  if k[0] == "ngram"}
+        assert len(ngrams) > 10
+        assert all(v >= 1 for v in ngrams.values())
+
+
+class TestScaling:
+    def test_parallel_beats_serial(self, corpus):
+        r1 = binfeat(corpus, VirtualTimeRuntime(1))
+        r8 = binfeat(corpus, VirtualTimeRuntime(8))
+        assert r8.makespan < r1.makespan
+        for stage in ("instruction_features", "control_flow_features",
+                      "data_flow_features"):
+            assert r8.stage_durations[stage] < r1.stage_durations[stage]
+
+    def test_feature_index_independent_of_workers(self, corpus):
+        r2 = binfeat(corpus, VirtualTimeRuntime(2))
+        r8 = binfeat(corpus, VirtualTimeRuntime(8))
+        assert r2.feature_index == r8.feature_index
+
+    def test_cfg_stage_scales_worse_than_features(self, corpus):
+        """The paper's Table 3 signature: per-binary CFG parallelism is
+        scarce on small binaries, feature stages are embarrassingly
+        parallel."""
+        r1 = binfeat(corpus, VirtualTimeRuntime(1))
+        r8 = binfeat(corpus, VirtualTimeRuntime(8))
+        cfg_speedup = r1.cfg_time / r8.cfg_time
+        if_speedup = r1.if_time / r8.if_time
+        assert if_speedup > cfg_speedup
+
+    def test_runs_on_serial_runtime(self, corpus):
+        res = binfeat(corpus, SerialRuntime())
+        assert res.makespan > 0
+        assert len(res.feature_index) > 0

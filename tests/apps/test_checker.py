@@ -1,0 +1,115 @@
+"""Tests for the correctness checker (Section 8.1 methodology)."""
+
+import pytest
+
+from repro.apps.checker import (
+    DiffCategory,
+    check_binary,
+    check_corpus,
+    summarize,
+)
+from repro.core import parse_binary
+from repro.runtime import SerialRuntime, VirtualTimeRuntime
+from repro.synth import tiny_binary
+
+
+def run_check(sb, workers=4):
+    cfg = parse_binary(sb.binary, VirtualTimeRuntime(workers))
+    return check_binary(sb, cfg)
+
+
+class TestCleanConstructs:
+    def test_plain_binary_mostly_matches(self):
+        """Without difficulty injectors, nearly everything matches."""
+        sb = tiny_binary(seed=42, n_functions=30,
+                         pct_error_call=0.0, pct_cold_outline=0.0,
+                         pct_obscured_switch=0.0,
+                         pct_stack_spill_switch=0.0)
+        rep = run_check(sb)
+        assert rep.n_functions_matched == rep.n_functions_checked
+        assert rep.n_tables_matched == rep.n_tables_checked
+        assert rep.count(DiffCategory.NORETURN_MISSED) == 0
+        assert rep.count(DiffCategory.MISSING_FUNCTION) == 0
+
+    def test_shared_code_and_cycles_clean(self):
+        sb = tiny_binary(seed=77, n_functions=40,
+                         pct_error_call=0.0, pct_cold_outline=0.0,
+                         pct_obscured_switch=0.0,
+                         pct_stack_spill_switch=0.0,
+                         n_shared_error_groups=2, shared_group_size=4)
+        rep = run_check(sb)
+        assert rep.n_functions_matched == rep.n_functions_checked
+
+
+class TestDifferenceCategories:
+    def test_error_call_produces_category1(self):
+        sb = tiny_binary(seed=5, n_functions=40, pct_error_call=0.3,
+                         pct_cold_outline=0.0, pct_obscured_switch=0.0,
+                         pct_stack_spill_switch=0.0)
+        rep = run_check(sb)
+        assert rep.count(DiffCategory.NORETURN_MISSED) > 0
+        assert rep.paper_counts()[1] > 0
+
+    def test_cold_outline_produces_category2(self):
+        sb = tiny_binary(seed=6, n_functions=40, pct_cold_outline=0.5,
+                         pct_error_call=0.0, pct_obscured_switch=0.0,
+                         pct_stack_spill_switch=0.0)
+        rep = run_check(sb)
+        extra = [d for d in rep.differences
+                 if d.category is DiffCategory.EXTRA_FUNCTION]
+        assert any(d.paper_category == 2 for d in extra)
+        # The parent function's range misses the cold fragment.
+        assert any(d.paper_category == 2 for d in rep.differences
+                   if d.category is DiffCategory.RANGE_MISMATCH)
+
+    def test_stack_spill_produces_category3(self):
+        sb = tiny_binary(seed=8, n_functions=60, pct_switch=0.6,
+                         pct_stack_spill_switch=0.9,
+                         pct_obscured_switch=0.0, pct_error_call=0.0,
+                         pct_cold_outline=0.0)
+        rep = run_check(sb)
+        missing = [d for d in rep.differences
+                   if d.category is DiffCategory.JT_MISSING]
+        assert missing
+        assert all(d.paper_category == 3 for d in missing)
+
+    def test_no_unexplained_missing_functions(self):
+        for seed in (1, 2, 3):
+            sb = tiny_binary(seed=seed, n_functions=35)
+            rep = run_check(sb)
+            assert rep.count(DiffCategory.MISSING_FUNCTION) == 0, \
+                rep.differences
+
+
+class TestReporting:
+    def test_counts_are_consistent(self):
+        sb = tiny_binary(seed=10, n_functions=30)
+        rep = run_check(sb)
+        assert rep.n_functions_checked == \
+            len(sb.ground_truth.entry_names)
+        range_diffs = rep.count(DiffCategory.RANGE_MISMATCH) + \
+            rep.count(DiffCategory.MISSING_FUNCTION)
+        assert rep.n_functions_matched + range_diffs == \
+            rep.n_functions_checked
+
+    def test_summarize_aggregates(self):
+        pairs = []
+        for seed in (1, 2):
+            sb = tiny_binary(seed=seed, n_functions=24)
+            cfg = parse_binary(sb.binary, SerialRuntime())
+            pairs.append((sb, cfg))
+        reports = check_corpus(pairs)
+        summary = summarize(reports)
+        assert summary["binaries"] == 2
+        assert summary["functions_checked"] == \
+            sum(r.n_functions_checked for r in reports)
+        assert set(summary["by_category"]) == \
+            {c.value for c in DiffCategory}
+        assert set(summary["by_paper_category"]) == {0, 1, 2, 3, 4}
+
+    def test_worker_count_does_not_change_report(self):
+        sb = tiny_binary(seed=14, n_functions=30)
+        r1 = run_check(sb, workers=1)
+        r8 = run_check(sb, workers=8)
+        assert [(d.category, d.address) for d in r1.differences] == \
+            [(d.category, d.address) for d in r8.differences]

@@ -1,0 +1,74 @@
+"""CLI smoke tests."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+
+
+def run_cli(capsys, *argv):
+    rc = main(list(argv))
+    out = capsys.readouterr().out
+    return rc, json.loads(out)
+
+
+class TestCli:
+    def test_synth_tiny(self, capsys):
+        rc, out = run_cli(capsys, "synth", "tiny")
+        assert rc == 0
+        assert out["symbols"] > 0
+        assert out["text_bytes"] > 0
+
+    def test_synth_save_and_parse_file(self, capsys, tmp_path):
+        path = str(tmp_path / "t.sbin")
+        rc, out = run_cli(capsys, "synth", "tiny", "--output", path)
+        assert rc == 0 and out["saved_to"] == path
+        rc, out = run_cli(capsys, "parse", path, "-j", "2")
+        assert rc == 0
+        assert out["functions"] > 10
+        assert out["makespan_cycles"] > 0
+
+    def test_parse_preset(self, capsys):
+        rc, out = run_cli(capsys, "parse", "tiny", "-j", "4")
+        assert rc == 0
+        assert out["workers"] == 4
+        assert out["blocks"] > out["functions"]
+
+    def test_parse_serial_runtime(self, capsys):
+        rc, out = run_cli(capsys, "parse", "tiny", "--runtime", "serial")
+        assert rc == 0
+        assert out["workers"] == 1
+
+    def test_hpcstruct(self, capsys):
+        rc, out = run_cli(capsys, "hpcstruct", "tiny", "-j", "2")
+        assert rc == 0
+        assert set(out["phases_cycles"]) == {
+            "read", "dwarf_types", "line_map", "cfg", "skeleton",
+            "queries", "output"}
+
+    def test_binfeat(self, capsys):
+        rc, out = run_cli(capsys, "binfeat", "--n-binaries", "2",
+                          "-j", "2", "--scale", "0.3")
+        assert rc == 0
+        assert out["binaries"] == 2
+        assert out["distinct_features"] > 0
+
+    def test_check(self, capsys):
+        rc, out = run_cli(capsys, "check", "--n-binaries", "2", "-j", "2")
+        assert rc == 0
+        assert out["binaries"] == 2
+        assert out["functions_checked"] > 0
+
+    def test_sweep(self, capsys):
+        rc, out = run_cli(capsys, "sweep", "tiny",
+                          "--workers-list", "1,4")
+        assert rc == 0
+        sweep = out["sweep"]
+        assert [row["workers"] for row in sweep] == [1, 4]
+        assert sweep[0]["speedup"] == 1.0
+        assert sweep[1]["speedup"] > 1.0
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["bogus"])

@@ -1,0 +1,73 @@
+"""Tests for the hpcstruct structure-file serialization."""
+
+import pytest
+
+from repro.apps.hpcstruct import hpcstruct
+from repro.apps.structfile import (
+    parse_structure_file,
+    to_xml,
+    write_structure_file,
+)
+from repro.runtime import VirtualTimeRuntime
+from repro.synth import tiny_binary
+
+
+@pytest.fixture(scope="module")
+def result():
+    sb = tiny_binary(seed=9, n_functions=24)
+    return hpcstruct(sb.binary, VirtualTimeRuntime(4))
+
+
+class TestStructureFile:
+    def test_xml_well_formed(self, result):
+        import xml.etree.ElementTree as ET
+
+        text = to_xml(result, "tiny.bin")
+        root = ET.fromstring(text)
+        assert root.tag == "HPCToolkitStructure"
+        assert root.find("LM").get("n") == "tiny.bin"
+
+    def test_every_function_has_a_procedure(self, result):
+        text = to_xml(result)
+        back = parse_structure_file(text)
+        assert len(back) == len(result.structure)
+
+    def test_roundtrip_preserves_structure(self, result):
+        back = parse_structure_file(to_xml(result))
+        orig = sorted(result.structure, key=lambda fs: (fs.entry, fs.name))
+        for a, b in zip(orig, back):
+            assert a.name == b.name
+            assert a.ranges == b.ranges
+            assert _loop_shape(a.loops) == _loop_shape(b.loops)
+            assert _inline_shape(a.inlines) == _inline_shape(b.inlines)
+
+    def test_file_roundtrip(self, result, tmp_path):
+        path = str(tmp_path / "out.hpcstruct")
+        write_structure_file(result, path, "tiny.bin")
+        with open(path) as f:
+            back = parse_structure_file(f.read())
+        assert len(back) == len(result.structure)
+
+    def test_loops_nested_in_xml(self, result):
+        text = to_xml(result)
+        back = parse_structure_file(text)
+        assert any(fs.loops for fs in back)
+
+    def test_files_group_procedures(self, result):
+        import xml.etree.ElementTree as ET
+
+        root = ET.fromstring(to_xml(result))
+        files = root.findall(".//F")
+        assert len(files) >= 1
+        total_procs = sum(len(f.findall("P")) for f in files)
+        assert total_procs == len(result.structure)
+
+
+def _loop_shape(loops):
+    return [(l.header, l.depth, l.n_blocks, _loop_shape(l.children))
+            for l in loops]
+
+
+def _inline_shape(inlines):
+    return [(i.callee, i.call_file, i.call_line,
+             _inline_shape(i.children)) for i in inlines]

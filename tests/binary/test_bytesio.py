@@ -1,0 +1,75 @@
+"""Tests for the byte-stream serialization helpers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.binary.bytesio import ByteReader, ByteWriter
+from repro.errors import ImageFormatError
+
+
+class TestRoundTrip:
+    def test_scalar_fields(self):
+        w = ByteWriter()
+        w.u8(200).u16(60000).u32(4_000_000_000).u64(1 << 60)
+        r = ByteReader(w.getvalue())
+        assert r.u8() == 200
+        assert r.u16() == 60000
+        assert r.u32() == 4_000_000_000
+        assert r.u64() == 1 << 60
+        assert r.exhausted
+
+    def test_string_and_blob(self):
+        w = ByteWriter()
+        w.string("héllo wörld").blob(b"\x00\x01\x02")
+        r = ByteReader(w.getvalue())
+        assert r.string() == "héllo wörld"
+        assert r.blob() == b"\x00\x01\x02"
+
+    def test_empty_string_and_blob(self):
+        w = ByteWriter()
+        w.string("").blob(b"")
+        r = ByteReader(w.getvalue())
+        assert r.string() == ""
+        assert r.blob() == b""
+
+    @given(st.lists(st.tuples(
+        st.sampled_from(["u8", "u16", "u32", "u64", "string", "blob"]),
+        st.integers(0, 255), st.text(max_size=20),
+        st.binary(max_size=20)), max_size=20))
+    def test_arbitrary_sequences(self, fields):
+        w = ByteWriter()
+        expected = []
+        for kind, num, txt, blob in fields:
+            if kind == "string":
+                w.string(txt)
+                expected.append(txt)
+            elif kind == "blob":
+                w.blob(blob)
+                expected.append(blob)
+            else:
+                getattr(w, kind)(num)
+                expected.append(num)
+        r = ByteReader(w.getvalue())
+        for (kind, *_), want in zip(fields, expected):
+            assert getattr(r, kind)() == want
+        assert r.exhausted
+
+
+class TestErrors:
+    def test_truncated_read_raises(self):
+        r = ByteReader(b"\x01")
+        with pytest.raises(ImageFormatError):
+            r.u32()
+
+    def test_truncated_string_raises(self):
+        w = ByteWriter()
+        w.string("hello")
+        r = ByteReader(w.getvalue()[:-2])
+        with pytest.raises(ImageFormatError):
+            r.string()
+
+    def test_len_tracks_writer(self):
+        w = ByteWriter()
+        assert len(w) == 0
+        w.u32(1)
+        assert len(w) == 4

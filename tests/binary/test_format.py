@@ -1,0 +1,111 @@
+"""Tests for the binary image container."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.binary import BinaryImage, Section, SectionFlags
+from repro.binary import format as fmt
+from repro.errors import ImageFormatError, SectionNotFoundError
+
+
+def make_image():
+    img = BinaryImage(name="test.bin")
+    img.add_section(Section(fmt.TEXT, 0x1000, b"\x01" * 64,
+                            SectionFlags.EXEC))
+    img.add_section(Section(fmt.RODATA, 0x5000,
+                            (0x1234).to_bytes(8, "little") * 4,
+                            SectionFlags.DATA))
+    return img
+
+
+class TestSections:
+    def test_section_lookup(self):
+        img = make_image()
+        assert img.section(fmt.TEXT).addr == 0x1000
+        assert img.text.size == 64
+        assert img.has_section(fmt.RODATA)
+        assert not img.has_section(fmt.DEBUG)
+
+    def test_missing_section_raises(self):
+        img = make_image()
+        with pytest.raises(SectionNotFoundError):
+            img.section(".nope")
+
+    def test_duplicate_section_rejected(self):
+        img = make_image()
+        with pytest.raises(ImageFormatError):
+            img.add_section(Section(fmt.TEXT, 0x9000, b""))
+
+    def test_section_containing(self):
+        img = make_image()
+        assert img.section_containing(0x1000).name == fmt.TEXT
+        assert img.section_containing(0x103F).name == fmt.TEXT
+        assert img.section_containing(0x1040) is None
+        assert img.section_containing(0x5008).name == fmt.RODATA
+
+    def test_section_bounds(self):
+        s = Section(".x", 0x100, b"abcd")
+        assert s.end == 0x104
+        assert s.contains(0x100) and s.contains(0x103)
+        assert not s.contains(0x104) and not s.contains(0xFF)
+
+
+class TestWordReads:
+    def test_read_word(self):
+        img = make_image()
+        assert img.read_word(0x5000) == 0x1234
+        assert img.read_word(0x5008) == 0x1234
+
+    def test_read_word_unmapped(self):
+        img = make_image()
+        with pytest.raises(ImageFormatError):
+            img.read_word(0x9000)
+
+    def test_read_word_straddling_end(self):
+        img = make_image()
+        with pytest.raises(ImageFormatError):
+            img.read_word(0x5000 + 32 - 4)
+
+
+class TestStats:
+    def test_sizes(self):
+        img = make_image()
+        assert img.text_size == 64
+        assert img.debug_size == 0
+        assert img.total_size == 64 + 32
+
+
+class TestSerialization:
+    def test_roundtrip(self):
+        img = make_image()
+        back = BinaryImage.from_bytes(img.to_bytes())
+        assert back.name == img.name
+        assert set(back.sections) == set(img.sections)
+        for name in img.sections:
+            a, b = img.section(name), back.section(name)
+            assert (a.addr, a.data, a.flags) == (b.addr, b.data, b.flags)
+
+    def test_bad_magic(self):
+        with pytest.raises(ImageFormatError):
+            BinaryImage.from_bytes(b"NOPE" + b"\x00" * 16)
+
+    def test_truncated(self):
+        raw = make_image().to_bytes()
+        with pytest.raises(ImageFormatError):
+            BinaryImage.from_bytes(raw[: len(raw) // 2])
+
+    def test_file_roundtrip(self, tmp_path):
+        img = make_image()
+        p = tmp_path / "x.sbin"
+        img.save(str(p))
+        back = BinaryImage.load(str(p))
+        assert back.name == img.name
+        assert back.text.data == img.text.data
+
+    @given(st.binary(max_size=128), st.integers(0, 2**63))
+    def test_arbitrary_section_roundtrip(self, data, addr):
+        img = BinaryImage(name="h")
+        img.add_section(Section(".blob", addr, data))
+        back = BinaryImage.from_bytes(img.to_bytes())
+        assert back.section(".blob").data == data
+        assert back.section(".blob").addr == addr

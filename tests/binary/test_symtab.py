@@ -1,0 +1,151 @@
+"""Tests for symbol tables and name demangling."""
+
+from repro.binary import (
+    IndexedSymbols,
+    Symbol,
+    SymbolBinding,
+    SymbolKind,
+    SymbolTable,
+    demangle_pretty,
+    demangle_typed,
+)
+from repro.runtime import SerialRuntime, ThreadRuntime, VirtualTimeRuntime
+
+
+class TestDemangle:
+    def test_plain_names_pass_through(self):
+        assert demangle_pretty("main") == "main"
+        assert demangle_typed("main") == "main"
+
+    def test_mangled_pretty(self):
+        assert demangle_pretty("_Z3fooii") == "foo"
+
+    def test_mangled_typed(self):
+        assert demangle_typed("_Z3fooii") == "foo(int, int)"
+        assert demangle_typed("_Z3barv") == "bar(void)"
+        assert demangle_typed("_Z1fdp") == "f(double, void*)"
+
+    def test_malformed_mangled(self):
+        assert demangle_pretty("_Z") == "_Z"
+        assert demangle_typed("_Z99x") == "_Z99x"
+
+    def test_unknown_arg_code(self):
+        assert demangle_typed("_Z1fq") == "f(?)"
+
+
+class TestSymbolTable:
+    def syms(self):
+        return [
+            Symbol("_Z3fooii", 0x1000, 32),
+            Symbol("_Z3fooid", 0x2000, 16),  # overload: same pretty name
+            Symbol("bar", 0x3000, 8),
+            Symbol("data_obj", 0x9000, 64, SymbolKind.OBJECT),
+            Symbol("local_fn", 0x4000, 8, SymbolKind.FUNC,
+                   SymbolBinding.LOCAL),
+        ]
+
+    def test_lookup_by_offset(self):
+        t = SymbolTable(self.syms())
+        assert t.by_offset(0x1000)[0].name == "_Z3fooii"
+        assert t.by_offset(0xDEAD) == []
+
+    def test_lookup_by_mangled(self):
+        t = SymbolTable(self.syms())
+        assert len(t.by_mangled_name("_Z3fooii")) == 1
+
+    def test_lookup_by_pretty_finds_overloads(self):
+        t = SymbolTable(self.syms())
+        assert len(t.by_pretty_name("foo")) == 2
+
+    def test_lookup_by_typed_distinguishes_overloads(self):
+        t = SymbolTable(self.syms())
+        assert len(t.by_typed_name("foo(int, int)")) == 1
+        assert len(t.by_typed_name("foo(int, double)")) == 1
+
+    def test_functions_sorted_and_filtered(self):
+        t = SymbolTable(self.syms())
+        fns = t.functions()
+        assert [s.offset for s in fns] == [0x1000, 0x2000, 0x3000, 0x4000]
+
+    def test_roundtrip(self):
+        t = SymbolTable(self.syms())
+        back = SymbolTable.from_bytes(t.to_bytes())
+        assert len(back) == len(t)
+        assert back.by_offset(0x9000)[0].kind is SymbolKind.OBJECT
+        assert back.by_offset(0x4000)[0].binding is SymbolBinding.LOCAL
+
+    def test_len_and_iter(self):
+        t = SymbolTable(self.syms())
+        assert len(t) == 5
+        assert {s.name for s in t} == {s.name for s in self.syms()}
+
+
+class TestIndexedSymbols:
+    def test_insert_and_lookup_serial(self):
+        rt = SerialRuntime()
+
+        def body():
+            idx = IndexedSymbols(rt)
+            s = Symbol("_Z3fooii", 0x1000, 32)
+            assert idx.insert(s)
+            assert not idx.insert(s)  # duplicate rejected via master map
+            assert idx.lookup_offset(0x1000) == [s]
+            assert idx.lookup_pretty("foo") == [s]
+            assert idx.lookup_mangled("_Z3fooii") == [s]
+            assert idx.lookup_typed("foo(int, int)") == [s]
+            assert len(idx) == 1
+
+        rt.run(body)
+
+    def test_parallel_build_vtime(self):
+        rt = VirtualTimeRuntime(8)
+        box = {}
+        syms = [Symbol(f"_Z4fn{i:02d}v", 0x1000 + i * 16, 16)
+                for i in range(40)]
+
+        def body():
+            box["idx"] = IndexedSymbols(rt)
+            rt.parallel_for(syms, box["idx"].insert)
+
+        rt.run(body)
+        idx = box["idx"]
+        assert len(idx) == 40
+        for s in syms:
+            assert idx.lookup_offset(s.offset) == [s]
+
+    def test_concurrent_duplicate_inserts_threads(self):
+        """Each symbol inserted from many threads lands exactly once."""
+        rt = ThreadRuntime(8)
+        box = {}
+        syms = [Symbol(f"fn{i}", 0x1000 + i * 16, 16) for i in range(25)]
+
+        def hammer():
+            for s in syms:
+                box["idx"].insert(s)
+
+        def body():
+            box["idx"] = IndexedSymbols(rt)
+            g = rt.task_group()
+            for _ in range(8):
+                g.spawn(hammer)
+            g.wait()
+
+        rt.run(body)
+        idx = box["idx"]
+        assert len(idx) == 25
+        for s in syms:
+            assert idx.lookup_offset(s.offset) == [s]
+
+    def test_shared_pretty_name_collects_overloads(self):
+        rt = SerialRuntime()
+
+        def body():
+            idx = IndexedSymbols(rt)
+            a = Symbol("_Z3fooi", 0x1000, 8)
+            b = Symbol("_Z3food", 0x2000, 8)
+            idx.insert(a)
+            idx.insert(b)
+            assert sorted(s.offset for s in idx.lookup_pretty("foo")) == \
+                [0x1000, 0x2000]
+
+        rt.run(body)

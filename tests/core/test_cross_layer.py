@@ -1,0 +1,97 @@
+"""Cross-validation between the execution layer and the formal layer.
+
+The paper characterizes the parallel analysis as
+``G0 ≼ G1 ≼ … ≼ Gm ≽ Gm+1 ≽ … ≽ Gn``: an expansion phase followed by a
+correction phase.  These tests project real parser results into the
+formal :class:`GraphState` and check the claim directly: the finalized
+CFG precedes (in the ``≼`` sense, minus entry labels, which tail-call
+correction legitimately rewrites) the expansion-only CFG produced by the
+legacy serial parser on the same binary.
+"""
+
+import pytest
+
+from repro.core import ParsedCFG, parse_binary
+from repro.core.graphstate import EdgeKind, FEdge, GraphState
+from repro.core.cfg import EdgeType
+from repro.core.partial_order import (
+    addresses_subset,
+    edges_preserved,
+    implicit_flow_preserved,
+)
+from repro.core.serial_parser import LegacySerialParser
+from repro.runtime import VirtualTimeRuntime
+from repro.synth import tiny_binary
+
+_KIND_MAP = {
+    EdgeType.DIRECT: EdgeKind.JUMP,
+    EdgeType.TAILCALL: EdgeKind.JUMP,
+    EdgeType.COND_TAKEN: EdgeKind.COND_TAKEN,
+    EdgeType.COND_FALLTHROUGH: EdgeKind.FALL,
+    EdgeType.FALLTHROUGH: EdgeKind.FALL,
+    EdgeType.CALL: EdgeKind.CALL,
+    EdgeType.CALL_FT: EdgeKind.CALL_FT,
+    EdgeType.INDIRECT: EdgeKind.INDIRECT,
+}
+
+
+def project(cfg: ParsedCFG) -> GraphState:
+    """Project an execution-layer CFG into a formal GraphState."""
+    blocks = frozenset(b.range for b in cfg.blocks() if not b.is_empty)
+    edges = set()
+    for b in cfg.blocks():
+        if b.is_empty:
+            continue
+        for e in b.out_edges:
+            if e.dst.is_empty or e.dst.end is None:
+                continue
+            edges.add(FEdge(b.end, e.dst.start, _KIND_MAP[e.etype]))
+    entries = frozenset(f.addr for f in cfg.functions())
+    return GraphState(blocks=blocks, candidates=frozenset(),
+                      edges=frozenset(edges), entries=entries)
+
+
+@pytest.fixture(scope="module", params=[7, 21, 42])
+def pair(request):
+    sb = tiny_binary(seed=request.param, n_functions=30)
+    expansion = LegacySerialParser(sb.binary).parse()
+    final = parse_binary(sb.binary, VirtualTimeRuntime(4))
+    return project(final), project(expansion)
+
+
+class TestCorrectionPhaseShrinks:
+    def test_addresses_subset(self, pair):
+        final, expansion = pair
+        assert addresses_subset(final, expansion)
+
+    def test_edges_preserved_modulo_kind(self, pair):
+        """Every (src_end, dst_start) of the final CFG already existed at
+        the end of the expansion phase — correction adds nothing."""
+        final, expansion = pair
+        assert edges_preserved(final, expansion)
+
+    def test_implicit_flow_preserved(self, pair):
+        final, expansion = pair
+        assert implicit_flow_preserved(final, expansion)
+
+    def test_expansion_has_at_least_as_much(self, pair):
+        final, expansion = pair
+        assert len(final.blocks) <= len(expansion.blocks)
+        assert len(final.edges) <= len(expansion.edges)
+
+
+class TestInitialStatePrecedes:
+    def test_g0_entries_survive_to_final(self):
+        """Symbol-table entries of G0 are entries of the final CFG."""
+        sb = tiny_binary(seed=7, n_functions=30)
+        g0 = GraphState.initial(set(sb.binary.entry_addresses()))
+        final = project(parse_binary(sb.binary, VirtualTimeRuntime(2)))
+        assert g0.entries <= final.entries
+
+    def test_final_blocks_start_at_entries(self):
+        sb = tiny_binary(seed=7, n_functions=30)
+        final_cfg = parse_binary(sb.binary, VirtualTimeRuntime(2))
+        final = project(final_cfg)
+        starts = {s for s, _ in final.blocks}
+        for addr in sb.binary.entry_addresses():
+            assert addr in starts

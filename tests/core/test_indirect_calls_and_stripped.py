@@ -1,0 +1,96 @@
+"""Indirect calls and stripped-binary parsing (Section 9 discussion)."""
+
+import pytest
+
+from repro.core import EdgeType, ReturnStatus, parse_binary
+from repro.isa import Opcode, Reg
+from repro.runtime import SerialRuntime, VirtualTimeRuntime
+from repro.synth import tiny_binary
+from repro.synth.asm import L
+
+from tests.core.test_parallel_parser import make_binary
+
+
+class TestIndirectCalls:
+    def test_icall_assumed_returning(self):
+        """Indirect calls have unknown callees; Dyninst (and we) assume
+        they return and add a call fall-through."""
+
+        def build(a):
+            a.label("main")
+            a.insn(Opcode.MOV_RI, Reg.R3, 0x5000)
+            a.insn(Opcode.ICALL, Reg.R3)
+            a.nop()
+            a.ret()
+
+        binary, labels = make_binary(build, {"main": "main"})
+        cfg = parse_binary(binary, SerialRuntime())
+        kinds = [e.etype for e in cfg.edges()]
+        assert EdgeType.CALL_FT in kinds
+        assert EdgeType.CALL not in kinds  # no static callee edge
+        f = cfg.function_at(labels["main"])
+        assert f.status is ReturnStatus.RETURN
+
+    def test_icall_does_not_create_functions(self):
+        def build(a):
+            a.label("main")
+            a.insn(Opcode.MOV_RI, Reg.R3, 0x5000)
+            a.insn(Opcode.ICALL, Reg.R3)
+            a.ret()
+
+        binary, labels = make_binary(build, {"main": "main"})
+        cfg = parse_binary(binary, SerialRuntime())
+        assert cfg.stats.n_functions == 1
+
+
+class TestStrippedBinaries:
+    """Stripped binaries lose .symtab but keep .dynsym and .eh_frame
+    (Section 9): entry discovery falls back to those."""
+
+    def test_stripped_parse_still_finds_functions(self):
+        sb = tiny_binary(seed=7)
+        stripped = sb.binary.stripped()
+        assert len(stripped.symtab) == 0
+        cfg = parse_binary(stripped, VirtualTimeRuntime(4))
+        full_cfg = parse_binary(sb.binary, VirtualTimeRuntime(4))
+        # eh_frame carries all non-hidden entries, so the same functions
+        # are discovered (names differ: no symbols to name them).
+        assert {f.addr for f in cfg.functions()} == \
+            {f.addr for f in full_cfg.functions()}
+
+    def test_stripped_blocks_match(self):
+        sb = tiny_binary(seed=7)
+        cfg_s = parse_binary(sb.binary.stripped(), VirtualTimeRuntime(2))
+        cfg_f = parse_binary(sb.binary, VirtualTimeRuntime(2))
+        assert sorted(b.range for b in cfg_s.blocks() if not b.is_empty) \
+            == sorted(b.range for b in cfg_f.blocks() if not b.is_empty)
+
+    def test_stripped_loses_known_noreturn_names(self):
+        """Name matching for known non-returning functions needs symbol
+        names; without them `exit` is still NORETURN via its HALT, so the
+        analysis converges to the same statuses here."""
+        sb = tiny_binary(seed=7)
+        cfg = parse_binary(sb.binary.stripped(), VirtualTimeRuntime(2))
+        exit_addr = sb.binary.symtab.by_mangled_name("exit")[0].offset
+        f = cfg.function_at(exit_addr)
+        assert f.status is ReturnStatus.NORETURN
+
+    def test_fully_stripped_discovers_through_calls(self):
+        """With no .symtab at all, functions reachable via calls from the
+        remaining roots are still discovered (control-flow traversal)."""
+        from repro.binary import format as fmt
+        from repro.binary.format import BinaryImage
+        from repro.binary.loader import LoadedBinary
+
+        sb = tiny_binary(seed=7)
+        img = BinaryImage(name="bare")
+        for name, sec in sb.binary.image.sections.items():
+            if name not in (fmt.SYMTAB, fmt.EH_FRAME):
+                img.add_section(sec)
+        bare = LoadedBinary(img)
+        assert len(bare.entry_addresses()) < \
+            len(sb.binary.entry_addresses())
+        cfg = parse_binary(bare, VirtualTimeRuntime(2))
+        # Discovery through the call graph finds more functions than the
+        # dynsym roots alone.
+        assert cfg.stats.n_functions > len(bare.entry_addresses())

@@ -1,0 +1,143 @@
+"""The Listing 1 scenario: tail-call order dependence and its correction.
+
+Two functions branch to one shared address; A tears its frame down first
+(heuristic 3 fires: tail call), B is frameless (no heuristic fires: intra
+edge).  The legacy serial parser gives order-dependent answers; the
+parallel parser's finalization restores the consistent one ("A and B both
+tail call to 0x400").
+"""
+
+import pytest
+
+from repro.core import EdgeType, parse_binary
+from repro.core.serial_parser import LegacySerialParser
+from repro.isa import Opcode, Reg
+from repro.runtime import SerialRuntime, VirtualTimeRuntime
+from repro.synth.asm import Assembler, L
+
+from tests.core.test_parallel_parser import make_binary
+
+
+def build_listing1(a: Assembler) -> None:
+    a.label("A")
+    a.enter(16)
+    a.nop()
+    a.leave()
+    a.jmp(L("shared"))
+    a.label("B")
+    a.insn(Opcode.MOV_RI, Reg.R6, 1)
+    a.jmp(L("shared"))
+    a.label("shared")
+    a.nop()
+    a.ret()
+
+
+@pytest.fixture
+def listing1():
+    return make_binary(build_listing1, {"A": "A", "B": "B"})
+
+
+def _edge_type_from(cfg, src_entry, labels):
+    """Edge type of the jmp-to-shared edge inside the given function."""
+    f = cfg.function_at(labels[src_entry])
+    for b in f.blocks:
+        for e in b.out_edges:
+            if e.dst.start == labels["shared"]:
+                return e.etype
+    # The jmp block may not be in the boundary if it was a tail call from
+    # the entry block itself; search all blocks by address range instead.
+    for b in cfg.blocks():
+        if b.start >= labels[src_entry]:
+            for e in b.out_edges:
+                if e.dst.start == labels["shared"]:
+                    return e.etype
+    return None
+
+
+class TestLegacyOrderDependence:
+    def test_a_first_makes_both_tail_calls(self, listing1):
+        binary, labels = listing1
+        parser = LegacySerialParser(binary, order=[labels["A"], labels["B"]])
+        cfg = parser.parse()
+        # A analyzed first: teardown -> tail call, function created at
+        # shared; B then branches to a known entry -> also tail call.
+        fb = cfg.function_at(labels["B"])
+        assert all(b.start != labels["shared"] for b in fb.blocks)
+        assert cfg.function_at(labels["shared"]) is not None
+
+    def test_b_first_includes_shared_in_b(self, listing1):
+        binary, labels = listing1
+        parser = LegacySerialParser(binary, order=[labels["B"], labels["A"]])
+        cfg = parser.parse()
+        # B analyzed first: no teardown, target unknown -> intra edge;
+        # the shared block lands inside B's boundary.
+        fb = cfg.function_at(labels["B"])
+        assert any(b.start == labels["shared"] for b in fb.blocks)
+
+    def test_legacy_results_differ_by_order(self, listing1):
+        binary, labels = listing1
+        sig_ab = LegacySerialParser(
+            binary, order=[labels["A"], labels["B"]]).parse().signature()
+        sig_ba = LegacySerialParser(
+            binary, order=[labels["B"], labels["A"]]).parse().signature()
+        assert sig_ab != sig_ba  # the Section 4.2 inconsistency
+
+
+class TestFinalizationRestoresConsistency:
+    @pytest.mark.parametrize("workers", [1, 2, 4])
+    def test_parallel_answer_is_stable(self, listing1, workers):
+        binary, labels = listing1
+        cfg = parse_binary(binary, VirtualTimeRuntime(workers))
+        # Consistent answer: both A and B tail-call the shared function.
+        assert cfg.function_at(labels["shared"]) is not None
+        assert _edge_type_from(cfg, "A", labels) is EdgeType.TAILCALL
+        assert _edge_type_from(cfg, "B", labels) is EdgeType.TAILCALL
+        fb = cfg.function_at(labels["B"])
+        assert all(b.start != labels["shared"] for b in fb.blocks)
+
+    def test_rule1_flip_recorded(self, listing1):
+        binary, labels = listing1
+        cfg = parse_binary(binary, SerialRuntime())
+        # When B parses before the shared function exists, finalization's
+        # rule 1 flips its direct edge to a tail call.
+        assert cfg.stats.n_tailcall_flips >= 0  # flip only if B won race
+        assert _edge_type_from(cfg, "B", labels) is EdgeType.TAILCALL
+
+    def test_synthetic_listing1_pair(self):
+        """The synthesizer's built-in Listing 1 pair resolves the same way."""
+        from repro.synth import tiny_binary
+
+        sb = tiny_binary(seed=7)
+        cfg = parse_binary(sb.binary, VirtualTimeRuntime(4))
+        gt = sb.ground_truth
+        shared_entries = [a for a, n in gt.entry_names.items()
+                          if n.startswith("l1_shared_")]
+        assert shared_entries
+        for addr in shared_entries:
+            f = cfg.function_at(addr)
+            assert f is not None
+            assert f.ranges() == gt.range_of(gt.entry_names[addr])
+
+
+class TestRule3OutlinedBlocks:
+    def test_sole_incoming_tailcall_flipped_back(self):
+        """A teardown-jump to a target with a single incoming edge is an
+        outlined block, not a tail call (rule 3)."""
+
+        def build(a):
+            a.label("main")
+            a.enter(16)
+            a.nop()
+            a.leave()
+            a.jmp(L("outlined"))
+            a.label("outlined")
+            a.nop()
+            a.ret()
+
+        binary, labels = make_binary(build, {"main": "main"})
+        cfg = parse_binary(binary, SerialRuntime())
+        f = cfg.function_at(labels["main"])
+        # Outlined block rejoins main's boundary after the rule-3 flip...
+        assert any(b.start == labels["outlined"] for b in f.blocks)
+        # ...and the transient function created at parse time is removed.
+        assert cfg.function_at(labels["outlined"]) is None

@@ -1,0 +1,206 @@
+"""Non-returning function analysis tests: chains, cycles, eager notify."""
+
+import pytest
+
+from repro.core import EdgeType, ParseOptions, ReturnStatus, parse_binary
+from repro.isa import Opcode, Reg
+from repro.runtime import SerialRuntime, VirtualTimeRuntime
+from repro.synth.asm import Assembler, L
+from repro.synth.program import ERROR_FUNC_NAME
+
+from tests.core.test_parallel_parser import make_binary
+
+
+class TestKnownNames:
+    def test_exit_is_noreturn_by_name(self):
+        def build(a):
+            a.label("exit")
+            a.halt()
+
+        binary, labels = make_binary(build, {"exit": "exit"})
+        cfg = parse_binary(binary, SerialRuntime())
+        assert cfg.function_at(labels["exit"]).status is ReturnStatus.NORETURN
+
+    def test_mangled_known_name(self):
+        def build(a):
+            a.label("f")
+            a.halt()
+
+        binary, labels = make_binary(build, {"_Z5abortv": "f"})
+        cfg = parse_binary(binary, SerialRuntime())
+        assert cfg.function_at(labels["f"]).status is ReturnStatus.NORETURN
+
+
+class TestCallChains:
+    def build_chain(self, a):
+        # caller -> w1 -> w2 -> exit; code after each call would be the
+        # next function, so a wrong fall-through edge is detectable.
+        a.label("caller")
+        a.call(L("w1"))
+        a.label("w1")
+        a.nop()
+        a.call(L("w2"))
+        a.label("w2")
+        a.nop()
+        a.call(L("exit"))
+        a.label("exit")
+        a.halt()
+
+    def test_chain_propagates_noreturn(self):
+        binary, labels = make_binary(
+            self.build_chain,
+            {"caller": "caller", "w1": "w1", "w2": "w2", "exit": "exit"})
+        cfg = parse_binary(binary, VirtualTimeRuntime(4))
+        for name in ("w1", "w2", "exit"):
+            assert cfg.function_at(labels[name]).status \
+                is ReturnStatus.NORETURN, name
+        assert not any(e.etype is EdgeType.CALL_FT for e in cfg.edges())
+        # caller never returns either (its only exit is the dead call).
+        assert cfg.function_at(labels["caller"]).status \
+            is ReturnStatus.NORETURN
+
+    def test_returning_chain_gets_fallthroughs(self):
+        def build(a):
+            a.label("caller")
+            a.call(L("w1"))
+            a.ret()
+            a.label("w1")
+            a.call(L("w2"))
+            a.ret()
+            a.label("w2")
+            a.ret()
+
+        binary, labels = make_binary(
+            build, {"caller": "caller", "w1": "w1", "w2": "w2"})
+        cfg = parse_binary(binary, VirtualTimeRuntime(4))
+        fts = [e for e in cfg.edges() if e.etype is EdgeType.CALL_FT]
+        assert len(fts) == 2
+        for name in ("caller", "w1", "w2"):
+            assert cfg.function_at(labels[name]).status \
+                is ReturnStatus.RETURN
+
+
+class TestCycles:
+    def test_mutual_recursion_is_noreturn(self):
+        def build(a):
+            a.label("a_fn")
+            a.nop()
+            a.call(L("b_fn"))
+            a.label("b_fn")
+            a.nop()
+            a.call(L("a_fn"))
+
+        binary, labels = make_binary(build, {"a_fn": "a_fn", "b_fn": "b_fn"})
+        cfg = parse_binary(binary, VirtualTimeRuntime(2))
+        assert cfg.function_at(labels["a_fn"]).status is ReturnStatus.NORETURN
+        assert cfg.function_at(labels["b_fn"]).status is ReturnStatus.NORETURN
+        assert not any(e.etype is EdgeType.CALL_FT for e in cfg.edges())
+
+    def test_rets_gated_behind_cycle_calls_stay_noreturn(self):
+        """RET instructions reachable only through the cyclic calls do not
+        count: the recursion has no base case, so nothing ever returns —
+        exactly the paper's rule (3)."""
+
+        def build(a):
+            a.label("a_fn")
+            a.call(L("b_fn"))
+            a.ret()
+            a.label("b_fn")
+            a.call(L("a_fn"))
+            a.ret()
+
+        binary, labels = make_binary(build, {"a_fn": "a_fn", "b_fn": "b_fn"})
+        cfg = parse_binary(binary, VirtualTimeRuntime(2))
+        assert cfg.function_at(labels["a_fn"]).status is ReturnStatus.NORETURN
+        assert cfg.function_at(labels["b_fn"]).status is ReturnStatus.NORETURN
+
+    def test_cycle_with_base_case_returns(self):
+        """A recursive pair with an escape path before the call returns."""
+
+        def build(a):
+            a.label("a_fn")
+            a.cmp_ri(Reg.R1, 0)
+            a.jcc(0, L("a_out"))  # base case: return without recursing
+            a.call(L("b_fn"))
+            a.label("a_out")
+            a.ret()
+            a.label("b_fn")
+            a.call(L("a_fn"))
+            a.ret()
+
+        binary, labels = make_binary(build, {"a_fn": "a_fn", "b_fn": "b_fn"})
+        cfg = parse_binary(binary, VirtualTimeRuntime(2))
+        assert cfg.function_at(labels["a_fn"]).status is ReturnStatus.RETURN
+        assert cfg.function_at(labels["b_fn"]).status is ReturnStatus.RETURN
+        # Both call sites got their fall-through edges.
+        assert len([e for e in cfg.edges()
+                    if e.etype is EdgeType.CALL_FT]) == 2
+
+
+class TestTailCallStatusPropagation:
+    def test_tail_call_to_returning_function(self):
+        def build(a):
+            a.label("caller")
+            a.call(L("tailer"))
+            a.ret()
+            a.label("tailer")
+            a.enter(16)
+            a.leave()
+            a.jmp(L("target"))
+            a.label("target")
+            a.ret()
+
+        binary, labels = make_binary(
+            build, {"caller": "caller", "tailer": "tailer",
+                    "target": "target"})
+        cfg = parse_binary(binary, VirtualTimeRuntime(2))
+        assert cfg.function_at(labels["tailer"]).status is ReturnStatus.RETURN
+        # caller got its fall-through because tailer transitively returns.
+        assert any(e.etype is EdgeType.CALL_FT for e in cfg.edges())
+
+    def test_tail_call_to_noreturn_function(self):
+        def build(a):
+            a.label("tailer")
+            a.jmp(L("deadend"))
+            a.label("deadend")
+            a.halt()
+
+        binary, labels = make_binary(
+            build, {"tailer": "tailer", "deadend": "deadend"})
+        cfg = parse_binary(binary, SerialRuntime())
+        assert cfg.function_at(labels["tailer"]).status \
+            is ReturnStatus.NORETURN
+
+
+class TestConditionallyNoreturn:
+    def test_error_report_pattern(self):
+        """Difference category 1: `error`-style functions defeat
+        name matching — the parser adds a call fall-through that ground
+        truth says should not exist."""
+        from repro.synth import tiny_binary
+
+        sb = tiny_binary(seed=7, n_functions=40, pct_error_call=0.35)
+        cfg = parse_binary(sb.binary, VirtualTimeRuntime(4))
+        err = sb.binary.symtab.by_mangled_name(ERROR_FUNC_NAME)[0]
+        assert cfg.function_at(err.offset).status is ReturnStatus.RETURN
+        # At least one GT-noreturn call site received a (wrong) CALL_FT.
+        gt_noreturn = sb.ground_truth.noreturn_calls
+        wrong = cfg.call_ft_sites() & gt_noreturn
+        assert wrong, "expected missed noreturn calls via error_report"
+
+
+class TestEagerVsLazy:
+    def test_eager_reduces_waves_or_time(self):
+        from repro.synth import tiny_binary
+
+        sb = tiny_binary(seed=3, n_functions=40)
+        rt_eager = VirtualTimeRuntime(8)
+        cfg_e = parse_binary(sb.binary, rt_eager,
+                             ParseOptions(eager_noreturn_notify=True))
+        rt_lazy = VirtualTimeRuntime(8)
+        cfg_l = parse_binary(sb.binary, rt_lazy,
+                             ParseOptions(eager_noreturn_notify=False))
+        assert cfg_e.signature() == cfg_l.signature()
+        # Eager notification resolves dependencies during traversal, so
+        # it takes no more (usually fewer) virtual cycles.
+        assert rt_eager.makespan <= rt_lazy.makespan

@@ -1,0 +1,198 @@
+"""Unit tests for the formal CFG operations (Section 3 definitions)."""
+
+from repro.core.graphstate import CodeSpace, EdgeKind, FEdge, GraphState
+from repro.core.operations import ober, ocfec, odec, oer, ofei, oiec
+
+
+def space(points, limit=100, indirect_ends=()):
+    return CodeSpace(base=0, limit=limit, cf_points=tuple(points),
+                     indirect_ends=frozenset(indirect_ends))
+
+
+class TestOber:
+    def test_linear_parsing(self):
+        code = space([(10, EdgeKind.JUMP, (50,))])
+        g = GraphState.initial({0})
+        g2 = ober(code, g, 0)
+        assert (0, 10) in g2.blocks
+        assert 0 not in g2.candidates
+
+    def test_linear_to_end_of_code(self):
+        code = space([], limit=20)
+        g2 = ober(code, GraphState.initial({5}), 5)
+        assert (5, 20) in g2.blocks
+
+    def test_block_splitting(self):
+        code = space([(10, EdgeKind.JUMP, (50,))])
+        g = GraphState.initial({0, 4})
+        g = ober(code, g, 0)           # block [0, 10)
+        g = ober(code, g, 4)           # split at 4
+        assert (0, 4) in g.blocks and (4, 10) in g.blocks
+        assert (0, 10) not in g.blocks
+        assert FEdge(4, 4, EdgeKind.FALL) in g.edges
+
+    def test_early_block_ending(self):
+        code = space([(20, EdgeKind.JUMP, (50,))])
+        g = GraphState.initial({8, 0})
+        g = ober(code, g, 8)           # block [8, 20)
+        g = ober(code, g, 0)           # ends early at 8
+        assert (0, 8) in g.blocks and (8, 20) in g.blocks
+        assert FEdge(8, 8, EdgeKind.FALL) in g.edges
+
+    def test_non_candidate_is_noop(self):
+        code = space([(10, EdgeKind.JUMP, (50,))])
+        g = GraphState.initial({0})
+        assert ober(code, g, 77) == g
+
+    def test_out_of_range_candidate_dropped(self):
+        code = space([], limit=10)
+        g = GraphState.initial({0}).with_candidate(400)
+        g2 = ober(code, g, 400)
+        assert 400 not in g2.candidates
+        assert all(b[0] != 400 for b in g2.blocks)
+
+
+class TestOdec:
+    def test_jump_edge(self):
+        code = space([(10, EdgeKind.JUMP, (50,))])
+        g = ober(code, GraphState.initial({0}), 0)
+        g = odec(code, g, 10)
+        assert FEdge(10, 50, EdgeKind.JUMP) in g.edges
+        assert 50 in g.candidates
+
+    def test_conditional_edges(self):
+        code = space([(10, EdgeKind.COND_TAKEN, (60,))])
+        g = ober(code, GraphState.initial({0}), 0)
+        g = odec(code, g, 10)
+        assert FEdge(10, 60, EdgeKind.COND_TAKEN) in g.edges
+        assert FEdge(10, 10, EdgeKind.FALL) in g.edges
+        assert {60, 10} <= g.candidates
+
+    def test_call_edge(self):
+        code = space([(10, EdgeKind.CALL, (80,))])
+        g = ober(code, GraphState.initial({0}), 0)
+        g = odec(code, g, 10)
+        assert FEdge(10, 80, EdgeKind.CALL) in g.edges
+
+    def test_applies_to_block_end_after_split(self):
+        """The operation is identified by the end address (commutativity)."""
+        code = space([(10, EdgeKind.JUMP, (50,))])
+        g = GraphState.initial({0, 4})
+        g = ober(code, g, 0)
+        g = ober(code, g, 4)    # split: [0,4) [4,10)
+        g = odec(code, g, 10)   # still applies to the block ending at 10
+        assert FEdge(10, 50, EdgeKind.JUMP) in g.edges
+
+    def test_no_block_at_end_is_noop(self):
+        code = space([(10, EdgeKind.JUMP, (50,))])
+        g = GraphState.initial({0})
+        assert odec(code, g, 10) == g
+
+    def test_target_block_not_duplicated_as_candidate(self):
+        code = space([(10, EdgeKind.JUMP, (0,))])
+        g = ober(code, GraphState.initial({0}), 0)
+        g = odec(code, g, 10)   # jump back to existing block start 0
+        assert 0 not in g.candidates
+        assert FEdge(10, 0, EdgeKind.JUMP) in g.edges
+
+
+class TestOcfec:
+    def setup_graph(self):
+        code = space([(10, EdgeKind.CALL, (80,))])
+        g = ober(code, GraphState.initial({0}), 0)
+        g = odec(code, g, 10)
+        return code, g
+
+    def test_returning_callee_adds_fallthrough(self):
+        code, g = self.setup_graph()
+        edge = FEdge(10, 80, EdgeKind.CALL)
+        g2 = ocfec(code, g, edge, returns=lambda f: True)
+        assert FEdge(10, 10, EdgeKind.CALL_FT) in g2.edges
+        assert 10 in g2.candidates
+
+    def test_nonreturning_callee_no_fallthrough(self):
+        code, g = self.setup_graph()
+        edge = FEdge(10, 80, EdgeKind.CALL)
+        g2 = ocfec(code, g, edge, returns=lambda f: False)
+        assert g2 == g
+
+    def test_non_call_edge_is_noop(self):
+        code, g = self.setup_graph()
+        bogus = FEdge(10, 80, EdgeKind.JUMP)
+        assert ocfec(code, g, bogus, returns=lambda f: True) == g
+
+
+class TestOiec:
+    def test_adds_oracle_targets(self):
+        code = space([(10, EdgeKind.FALL, ())], indirect_ends=[10])
+        g = ober(code, GraphState.initial({0}), 0)
+        g2 = oiec(code, g, 10, lambda g, e: frozenset({40, 60}))
+        assert FEdge(10, 40, EdgeKind.INDIRECT) in g2.edges
+        assert FEdge(10, 60, EdgeKind.INDIRECT) in g2.edges
+        assert {40, 60} <= g2.candidates
+
+    def test_empty_oracle_adds_nothing(self):
+        code = space([(10, EdgeKind.FALL, ())], indirect_ends=[10])
+        g = ober(code, GraphState.initial({0}), 0)
+        assert oiec(code, g, 10, lambda g, e: frozenset()) == g
+
+    def test_non_indirect_end_is_noop(self):
+        code = space([(10, EdgeKind.JUMP, (50,))])
+        g = ober(code, GraphState.initial({0}), 0)
+        assert oiec(code, g, 10, lambda g, e: frozenset({40})) == g
+
+
+class TestOfei:
+    def test_call_edge_marks_entry(self):
+        code = space([(10, EdgeKind.CALL, (80,))])
+        g = ober(code, GraphState.initial({0}), 0)
+        g = odec(code, g, 10)
+        g2 = ofei(code, g, FEdge(10, 80, EdgeKind.CALL))
+        assert 80 in g2.entries
+
+    def test_branch_with_tail_heuristic(self):
+        code = space([(10, EdgeKind.JUMP, (80,))])
+        g = ober(code, GraphState.initial({0}), 0)
+        g = odec(code, g, 10)
+        edge = FEdge(10, 80, EdgeKind.JUMP)
+        g_yes = ofei(code, g, edge, is_tail_call=lambda g, e: True)
+        g_no = ofei(code, g, edge, is_tail_call=lambda g, e: False)
+        assert 80 in g_yes.entries
+        assert 80 not in g_no.entries
+
+
+class TestOer:
+    def build(self):
+        # entry 0 -> block [0,10) --jump--> [50,60) --jump--> [70,80)
+        code = space([(10, EdgeKind.JUMP, (50,)),
+                      (60, EdgeKind.JUMP, (70,)),
+                      (80, EdgeKind.JUMP, (0,))])
+        g = GraphState.initial({0})
+        for _ in range(4):
+            for t in sorted(g.candidates):
+                g = ober(code, g, t)
+            for _, e in sorted(g.blocks):
+                g = odec(code, g, e)
+        return code, g
+
+    def test_removal_cascades(self):
+        code, g = self.build()
+        g2 = oer(code, g, FEdge(10, 50, EdgeKind.JUMP))
+        assert g2.blocks == frozenset({(0, 10)})
+        assert all(e.dst_start != 50 for e in g2.edges)
+        assert all(e.src_end != 60 for e in g2.edges)
+
+    def test_removal_keeps_reachable(self):
+        code, g = self.build()
+        g2 = oer(code, g, FEdge(60, 70, EdgeKind.JUMP))
+        assert (50, 60) in g2.blocks
+        assert (70, 80) not in g2.blocks
+
+    def test_absent_edge_is_noop(self):
+        code, g = self.build()
+        assert oer(code, g, FEdge(1, 2, EdgeKind.JUMP)) == g
+
+    def test_entries_never_dropped(self):
+        code, g = self.build()
+        g2 = oer(code, g, FEdge(10, 50, EdgeKind.JUMP))
+        assert g2.entries == g.entries

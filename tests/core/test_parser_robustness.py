@@ -1,0 +1,158 @@
+"""Robustness tests: the parser must survive arbitrary inputs.
+
+Real binary analysis constantly meets junk: data in text sections,
+truncated instructions, symbols pointing at garbage.  The parser must
+never crash, and its output must stay deterministic.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.binary import format as fmt
+from repro.binary.format import BinaryImage, Section, SectionFlags
+from repro.binary.loader import LoadedBinary, encode_eh_frame
+from repro.binary.symtab import Symbol, SymbolTable
+from repro.core import parse_binary
+from repro.isa import Cond, Opcode, Reg
+from repro.runtime import SerialRuntime, VirtualTimeRuntime
+from repro.synth.asm import L
+
+from tests.core.test_parallel_parser import make_binary
+
+
+def binary_from_blob(blob: bytes, entries: list[int], base=0x1000):
+    img = BinaryImage(name="fuzz")
+    img.add_section(Section(fmt.TEXT, base, blob, SectionFlags.EXEC))
+    st_ = SymbolTable([Symbol(f"f{i}", base + off, 0)
+                       for i, off in enumerate(entries)])
+    img.add_section(Section(fmt.SYMTAB, 0, st_.to_bytes(),
+                            SectionFlags.DEBUG_INFO))
+    img.add_section(Section(fmt.EH_FRAME, 0,
+                            encode_eh_frame([base + o for o in entries]),
+                            SectionFlags.DEBUG_INFO))
+    return LoadedBinary(img)
+
+
+class TestFuzzedText:
+    @settings(max_examples=40, deadline=None)
+    @given(st.binary(min_size=1, max_size=300), st.data())
+    def test_arbitrary_bytes_never_crash(self, blob, data):
+        n = data.draw(st.integers(1, min(4, len(blob))))
+        entries = sorted(data.draw(st.sets(
+            st.integers(0, len(blob) - 1), min_size=n, max_size=n)))
+        binary = binary_from_blob(blob, list(entries))
+        cfg = parse_binary(binary, SerialRuntime())
+        assert cfg.stats.n_functions >= 1
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.binary(min_size=8, max_size=200), st.data())
+    def test_fuzzed_parse_is_deterministic(self, blob, data):
+        entries = sorted(data.draw(st.sets(
+            st.integers(0, len(blob) - 1), min_size=1, max_size=3)))
+        binary = binary_from_blob(blob, list(entries))
+        sig1 = parse_binary(binary, SerialRuntime()).signature()
+        sig2 = parse_binary(binary, VirtualTimeRuntime(4)).signature()
+        assert sig1 == sig2
+
+
+class TestEdgeCases:
+    def test_symbol_at_last_byte(self):
+        blob = bytes([int(Opcode.NOP)] * 4)
+        binary = binary_from_blob(blob, [3])
+        cfg = parse_binary(binary, SerialRuntime())
+        f = cfg.functions()[0]
+        # Lone NOP at the end: block runs to the region end, no edges.
+        assert f.ranges() == [(0x1003, 0x1004)]
+
+    def test_symbol_on_truncated_instruction(self):
+        # A JMP opcode byte with no operand bytes behind it.
+        blob = bytes([int(Opcode.NOP), int(Opcode.JMP)])
+        binary = binary_from_blob(blob, [0, 1])
+        cfg = parse_binary(binary, SerialRuntime())  # must not crash
+        assert cfg.stats.n_functions == 2
+
+    def test_direct_recursion(self):
+        def build(a):
+            a.label("main")
+            a.cmp_ri(Reg.R1, 0)
+            a.jcc(Cond.EQ, L("base"))
+            a.call(L("main"))
+            a.label("base")
+            a.ret()
+
+        binary, labels = make_binary(build, {"main": "main"})
+        cfg = parse_binary(binary, SerialRuntime())
+        f = cfg.function_at(labels["main"])
+        from repro.core import ReturnStatus
+
+        assert f.status is ReturnStatus.RETURN
+
+    def test_infinite_self_loop(self):
+        def build(a):
+            a.label("main")
+            a.label("spin")
+            a.jmp(L("spin"))
+
+        binary, labels = make_binary(build, {"main": "main"})
+        cfg = parse_binary(binary, SerialRuntime())
+        from repro.core import ReturnStatus
+
+        assert cfg.function_at(labels["main"]).status \
+            is ReturnStatus.NORETURN
+
+    def test_jump_past_text_end(self):
+        def build(a):
+            a.label("main")
+            a.jmp(0x999999)  # far outside the text section
+
+        binary, labels = make_binary(build, {"main": "main"})
+        cfg = parse_binary(binary, SerialRuntime())  # must not crash
+        # The out-of-range candidate resolves to an empty block.
+        target_blocks = [b for b in cfg.blocks() if b.start == 0x999999]
+        assert all(b.is_empty for b in target_blocks)
+
+    def test_two_symbols_same_address(self):
+        blob = bytes([int(Opcode.NOP), int(Opcode.RET)])
+        img = BinaryImage(name="dup")
+        img.add_section(Section(fmt.TEXT, 0x1000, blob,
+                                SectionFlags.EXEC))
+        st_ = SymbolTable([Symbol("a", 0x1000, 2), Symbol("b", 0x1000, 2)])
+        img.add_section(Section(fmt.SYMTAB, 0, st_.to_bytes(),
+                                SectionFlags.DEBUG_INFO))
+        binary = LoadedBinary(img)
+        cfg = parse_binary(binary, SerialRuntime())
+        # One function per entry address (invariant 5).
+        assert cfg.stats.n_functions == 1
+
+    def test_empty_symtab_with_ehframe(self):
+        blob = bytes([int(Opcode.RET)])
+        img = BinaryImage(name="nosym")
+        img.add_section(Section(fmt.TEXT, 0x1000, blob,
+                                SectionFlags.EXEC))
+        img.add_section(Section(fmt.EH_FRAME, 0, encode_eh_frame([0x1000]),
+                                SectionFlags.DEBUG_INFO))
+        cfg = parse_binary(LoadedBinary(img), SerialRuntime())
+        assert cfg.stats.n_functions == 1
+
+    def test_no_entries_at_all(self):
+        img = BinaryImage(name="empty")
+        img.add_section(Section(fmt.TEXT, 0x1000, b"\x01\x25",
+                                SectionFlags.EXEC))
+        cfg = parse_binary(LoadedBinary(img), SerialRuntime())
+        assert cfg.stats.n_functions == 0
+        assert cfg.stats.n_blocks == 0
+
+    def test_overlapping_instruction_streams(self):
+        """Two symbols decoding the same bytes at different offsets:
+        misaligned overlapping blocks must coexist (distinct ends)."""
+        # MOV_RI R1, imm where imm bytes themselves decode as code.
+        from repro.isa import encode, Instruction
+        from repro.isa.encoding import instruction_length
+
+        mov = encode(Instruction(0, Opcode.MOV_RI,
+                                 (Reg.R1, 0x25252525),
+                                 instruction_length(Opcode.MOV_RI)))
+        blob = mov + bytes([int(Opcode.RET)])
+        binary = binary_from_blob(blob, [0, 2])
+        cfg = parse_binary(binary, SerialRuntime())  # no crash
+        assert cfg.stats.n_functions == 2

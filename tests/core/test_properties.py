@@ -1,0 +1,235 @@
+"""Property-based verification of the Section 4 operation properties.
+
+Hypothesis generates random code spaces and operation applications; the
+tests check the paper's algebraic claims hold of the formal definitions:
+
+- ``O_BER`` and ``O_DEC`` commute with themselves and each other;
+- ``O_ER`` commutes with itself;
+- ``O_IEC`` satisfies the monotonic ordering property under a monotone
+  oracle, and violates it under an over-approximating oracle (the
+  Section 4.2 Dyninst flaw);
+- the expansion phase forms an increasing chain ``G0 ≼ G1 ≼ … ≼ Gm``.
+"""
+
+import functools
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.graphstate import CodeSpace, EdgeKind, FEdge, GraphState
+from repro.core.operations import ober, odec, oer, oiec
+from repro.core.partial_order import precedes
+from repro.core.properties import (
+    commutes,
+    expansion_chain_increases,
+    make_monotone_oracle,
+    make_overapprox_oracle,
+    monotone_ordering_holds,
+    resolve_all,
+)
+
+LIMIT = 96
+
+
+@st.composite
+def code_spaces(draw):
+    """A random single-stream code space over [0, 96)."""
+    n_cf = draw(st.integers(1, 8))
+    ends = sorted(draw(st.sets(st.integers(2, LIMIT - 1),
+                               min_size=n_cf, max_size=n_cf)))
+    points = []
+    for e in ends:
+        kind = draw(st.sampled_from([EdgeKind.JUMP, EdgeKind.COND_TAKEN,
+                                     EdgeKind.CALL]))
+        n_targets = draw(st.integers(0, 2))
+        targets = tuple(sorted(draw(st.sets(st.integers(0, LIMIT - 1),
+                                            min_size=n_targets,
+                                            max_size=n_targets))))
+        points.append((e, kind, targets))
+    return CodeSpace(base=0, limit=LIMIT, cf_points=tuple(points))
+
+
+@st.composite
+def built_graphs(draw):
+    """A well-formed graph reached by applying operations from G0."""
+    code = draw(code_spaces())
+    entries = draw(st.sets(st.integers(0, LIMIT - 1), min_size=1,
+                           max_size=4))
+    g = GraphState.initial(entries)
+    steps = draw(st.integers(0, 12))
+    for _ in range(steps):
+        cands = sorted(g.candidates)
+        ends = sorted(b[1] for b in g.blocks)
+        choice = draw(st.integers(0, 1))
+        if choice == 0 and cands:
+            g = ober(code, g, draw(st.sampled_from(cands)))
+        elif ends:
+            g = odec(code, g, draw(st.sampled_from(ends)))
+    return code, g
+
+
+class TestCommutativity:
+    @settings(max_examples=120, deadline=None)
+    @given(built_graphs(), st.data())
+    def test_ober_commutes_with_ober(self, cg, data):
+        code, g = cg
+        cands = sorted(g.candidates)
+        if len(cands) < 2:
+            return
+        a = data.draw(st.sampled_from(cands))
+        b = data.draw(st.sampled_from([c for c in cands if c != a]))
+        assert commutes(g, functools.partial(ober, code, t=a),
+                        functools.partial(ober, code, t=b))
+
+    @settings(max_examples=120, deadline=None)
+    @given(built_graphs(), st.data())
+    def test_odec_commutes_with_odec(self, cg, data):
+        code, g = cg
+        ends = sorted({b[1] for b in g.blocks})
+        if len(ends) < 2:
+            return
+        a = data.draw(st.sampled_from(ends))
+        b = data.draw(st.sampled_from([e for e in ends if e != a]))
+        assert commutes(g, functools.partial(odec, code, e=a),
+                        functools.partial(odec, code, e=b))
+
+    @settings(max_examples=150, deadline=None)
+    @given(built_graphs(), st.data())
+    def test_ober_commutes_with_odec(self, cg, data):
+        code, g = cg
+        cands = sorted(g.candidates)
+        ends = sorted({b[1] for b in g.blocks})
+        if not cands or not ends:
+            return
+        t = data.draw(st.sampled_from(cands))
+        e = data.draw(st.sampled_from(ends))
+        assert commutes(g, functools.partial(ober, code, t=t),
+                        functools.partial(odec, code, e=e))
+
+    @settings(max_examples=80, deadline=None)
+    @given(built_graphs(), st.data())
+    def test_oer_commutes_with_oer(self, cg, data):
+        code, g = cg
+        edges = sorted(g.edges, key=lambda e: (e.src_end, e.dst_start,
+                                               e.kind.value))
+        if len(edges) < 2:
+            return
+        e1 = data.draw(st.sampled_from(edges))
+        e2 = data.draw(st.sampled_from([e for e in edges if e != e1]))
+        assert commutes(g, functools.partial(oer, code, edge=e1),
+                        functools.partial(oer, code, edge=e2))
+
+
+class TestPartialOrder:
+    @settings(max_examples=60, deadline=None)
+    @given(built_graphs())
+    def test_reflexive(self, cg):
+        _, g = cg
+        assert precedes(g, g)
+
+    @settings(max_examples=60, deadline=None)
+    @given(built_graphs(), st.data())
+    def test_ober_increases(self, cg, data):
+        code, g = cg
+        cands = sorted(g.candidates)
+        if not cands:
+            return
+        t = data.draw(st.sampled_from(cands))
+        assert precedes(g, ober(code, g, t))
+
+    @settings(max_examples=60, deadline=None)
+    @given(built_graphs(), st.data())
+    def test_odec_increases(self, cg, data):
+        code, g = cg
+        ends = sorted({b[1] for b in g.blocks})
+        if not ends:
+            return
+        e = data.draw(st.sampled_from(ends))
+        assert precedes(g, odec(code, g, e))
+
+    @settings(max_examples=40, deadline=None)
+    @given(built_graphs())
+    def test_full_resolution_dominates(self, cg):
+        code, g = cg
+        assert precedes(g, resolve_all(code, g))
+
+    @settings(max_examples=40, deadline=None)
+    @given(built_graphs(), st.data())
+    def test_transitive_along_chain(self, cg, data):
+        code, g0 = cg
+        cands = sorted(g0.candidates)
+        if not cands:
+            return
+        t = data.draw(st.sampled_from(cands))
+        g1 = ober(code, g0, t)
+        g2 = resolve_all(code, g1)
+        assert precedes(g0, g1) and precedes(g1, g2) and precedes(g0, g2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(built_graphs())
+    def test_expansion_chain(self, cg):
+        code, g = cg
+        ops = []
+        probe = g
+        for _ in range(6):
+            cands = sorted(probe.candidates)
+            if not cands:
+                break
+            op = functools.partial(ober, code, t=cands[0])
+            ops.append(op)
+            probe = op(probe)
+            ends = sorted({b[1] for b in probe.blocks})
+            if ends:
+                op2 = functools.partial(odec, code, e=ends[-1])
+                ops.append(op2)
+                probe = op2(probe)
+        assert expansion_chain_increases(code, g, ops)
+
+
+class TestMonotonicity:
+    def _indirect_setup(self):
+        code = CodeSpace(
+            base=0, limit=LIMIT,
+            cf_points=((10, EdgeKind.JUMP, (30,)),
+                       (20, EdgeKind.FALL, ()),
+                       (40, EdgeKind.JUMP, (50,))),
+            indirect_ends=frozenset({20}),
+        )
+        g = GraphState.initial({12, 0})
+        g = ober(code, g, 12)   # block [12, 20) ends at the indirect jump
+        return code, g
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.sets(st.integers(0, LIMIT - 1), max_size=3))
+    def test_monotone_oracle_satisfies_ordering(self, base_targets):
+        code, g = self._indirect_setup()
+        oracle = make_monotone_oracle(
+            {20: frozenset(base_targets)},
+            bonus_if_block=(0, frozenset({44})),
+        )
+        other = functools.partial(ober, code, t=0)
+        assert monotone_ordering_holds(code, g, 20, oracle, other)
+
+    def test_overapprox_oracle_violates_ordering(self):
+        """Reproduces the Section 4.2 flaw: a bogus over-approximated
+        target poisons a later jump-table analysis into returning ∅."""
+        code, g = self._indirect_setup()
+        oracle = make_overapprox_oracle({20: frozenset({30, 50})},
+                                        poisoned_block=0)
+        other = functools.partial(ober, code, t=0)  # materializes poison
+        assert not monotone_ordering_holds(code, g, 20, oracle, other)
+
+    def test_union_semantics_restore_monotonicity(self):
+        """The Section 5.3 fix: union targets across paths instead of
+        failing — modeled as replacing the poisoned ∅ with the union."""
+        code, g = self._indirect_setup()
+        poisoned = make_overapprox_oracle({20: frozenset({30, 50})},
+                                          poisoned_block=0)
+
+        def union_oracle(gs, end):
+            # Union of targets discovered along every analyzable path:
+            # never loses targets already derivable from a smaller graph.
+            return poisoned(GraphState.initial(gs.entries), end) | \
+                poisoned(gs, end)
+
+        other = functools.partial(ober, code, t=0)
+        assert monotone_ordering_holds(code, g, 20, union_oracle, other)

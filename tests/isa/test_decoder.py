@@ -1,0 +1,124 @@
+"""Tests for the streaming decoder (linear parsing primitive)."""
+
+import pytest
+
+from repro.errors import InvalidInstructionError
+from repro.isa import Decoder, Instruction, Opcode, Reg, encode
+from repro.isa.encoding import instruction_length
+
+
+def assemble(base, ops):
+    """Assemble a list of (opcode, *operands) into (bytes, [Instruction])."""
+    blob = b""
+    insns = []
+    addr = base
+    for op, *operands in ops:
+        i = Instruction(address=addr, opcode=op, operands=tuple(operands),
+                        length=instruction_length(op))
+        insns.append(i)
+        blob += encode(i)
+        addr = i.end
+    return blob, insns
+
+
+BASE = 0x4000
+
+
+@pytest.fixture
+def simple_block():
+    """mov; add; cmp; jcc — one basic block ending in conditional branch."""
+    return assemble(BASE, [
+        (Opcode.MOV_RI, Reg.R1, 5),
+        (Opcode.ADD, Reg.R1, Reg.R2),
+        (Opcode.CMP_RI, Reg.R1, 10),
+        (Opcode.JCC, 0, 0x5000),
+        (Opcode.NOP,),
+        (Opcode.RET,),
+    ])
+
+
+class TestDecodeAt:
+    def test_decode_each_address(self, simple_block):
+        blob, insns = simple_block
+        d = Decoder(blob, BASE)
+        for expect in insns:
+            assert d.decode_at(expect.address) == expect
+
+    def test_outside_region_raises(self, simple_block):
+        blob, _ = simple_block
+        d = Decoder(blob, BASE)
+        with pytest.raises(InvalidInstructionError):
+            d.decode_at(BASE - 1)
+        with pytest.raises(InvalidInstructionError):
+            d.decode_at(BASE + len(blob))
+
+    def test_contains(self, simple_block):
+        blob, _ = simple_block
+        d = Decoder(blob, BASE)
+        assert d.contains(BASE)
+        assert d.contains(BASE + len(blob) - 1)
+        assert not d.contains(BASE + len(blob))
+        assert d.base == BASE
+        assert d.limit == BASE + len(blob)
+
+    def test_misaligned_decode_gives_different_stream(self, simple_block):
+        """Decoding from the middle of an instruction either fails or
+        produces a different instruction — variable-length realism."""
+        blob, insns = simple_block
+        d = Decoder(blob, BASE)
+        mid = insns[0].address + 1
+        try:
+            got = d.decode_at(mid)
+            assert got != insns[0]
+        except InvalidInstructionError:
+            pass
+
+
+class TestLinearScan:
+    def test_scan_stops_at_control_flow(self, simple_block):
+        blob, insns = simple_block
+        d = Decoder(blob, BASE)
+        got, ended_cf = d.linear_scan(BASE)
+        assert ended_cf
+        assert [i.opcode for i in got] == [Opcode.MOV_RI, Opcode.ADD,
+                                           Opcode.CMP_RI, Opcode.JCC]
+
+    def test_scan_from_middle(self, simple_block):
+        blob, insns = simple_block
+        d = Decoder(blob, BASE)
+        got, ended_cf = d.linear_scan(insns[4].address)  # NOP; RET
+        assert ended_cf
+        assert [i.opcode for i in got] == [Opcode.NOP, Opcode.RET]
+
+    def test_scan_into_garbage(self):
+        blob, _ = assemble(BASE, [(Opcode.NOP,), (Opcode.NOP,)])
+        blob += b"\x00\xff"  # undecodable
+        d = Decoder(blob, BASE)
+        got, ended_cf = d.linear_scan(BASE)
+        assert not ended_cf
+        assert len(got) == 2
+
+    def test_scan_to_region_end(self):
+        blob, _ = assemble(BASE, [(Opcode.NOP,), (Opcode.NOP,)])
+        d = Decoder(blob, BASE)
+        got, ended_cf = d.linear_scan(BASE)
+        assert not ended_cf
+        assert len(got) == 2
+
+    def test_stop_before(self, simple_block):
+        blob, insns = simple_block
+        d = Decoder(blob, BASE)
+        got, ended_cf = d.linear_scan(BASE, stop_before=insns[2].address)
+        assert not ended_cf
+        assert len(got) == 2
+
+    def test_iter_from(self, simple_block):
+        blob, insns = simple_block
+        d = Decoder(blob, BASE)
+        assert list(d.iter_from(BASE)) == insns
+
+    def test_iter_from_stops_on_garbage(self):
+        blob, _ = assemble(BASE, [(Opcode.NOP,)])
+        blob += b"\x00"
+        d = Decoder(blob, BASE)
+        assert len(list(d.iter_from(BASE))) == 1

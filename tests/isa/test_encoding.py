@@ -1,0 +1,133 @@
+"""Encode/decode unit and property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import EncodingError, InvalidInstructionError
+from repro.isa import Cond, Instruction, Opcode, Reg, decode, encode
+from repro.isa.encoding import _LAYOUT, instruction_length
+
+
+def make(op, *operands, address=0):
+    return Instruction(address=address, opcode=op, operands=tuple(operands),
+                       length=instruction_length(op))
+
+
+# Strategy: a random valid instruction of any opcode.
+def _operand_strategy(kind):
+    if kind == "r":
+        return st.integers(0, len(Reg) - 1)
+    if kind == "c":
+        return st.integers(0, len(Cond) - 1)
+    if kind == "i32":
+        return st.integers(0, (1 << 32) - 1)
+    return st.integers(0, (1 << 16) - 1)
+
+
+@st.composite
+def instructions(draw):
+    op = draw(st.sampled_from(sorted(_LAYOUT.keys())))
+    operands = tuple(draw(_operand_strategy(k)) for k in _LAYOUT[op])
+    address = draw(st.integers(0, (1 << 32) - 1))
+    return Instruction(address=address, opcode=op, operands=operands,
+                       length=instruction_length(op))
+
+
+class TestRoundTrip:
+    @given(instructions())
+    def test_encode_decode_roundtrip(self, insn):
+        raw = encode(insn)
+        assert len(raw) == insn.length
+        back = decode(raw, 0, insn.address)
+        assert back == insn
+
+    @given(st.lists(instructions(), min_size=1, max_size=20))
+    def test_stream_roundtrip(self, insns):
+        """A concatenated stream decodes back instruction by instruction."""
+        blob = b""
+        placed = []
+        addr = 0x1000
+        for i in insns:
+            i2 = Instruction(address=addr, opcode=i.opcode,
+                             operands=i.operands, length=i.length)
+            placed.append(i2)
+            blob += encode(i2)
+            addr = i2.end
+        pos = 0
+        for expect in placed:
+            got = decode(blob, pos, expect.address)
+            assert got == expect
+            pos += got.length
+
+
+class TestLengths:
+    def test_lengths_cover_all_opcodes(self):
+        for op in Opcode:
+            assert instruction_length(op) >= 1
+
+    def test_variable_lengths_exist(self):
+        lengths = {instruction_length(op) for op in Opcode}
+        assert len(lengths) > 3  # genuinely variable-length ISA
+
+    def test_specific_lengths(self):
+        assert instruction_length(Opcode.NOP) == 1
+        assert instruction_length(Opcode.RET) == 1
+        assert instruction_length(Opcode.JMP) == 5
+        assert instruction_length(Opcode.JCC) == 6
+        assert instruction_length(Opcode.LOAD) == 7
+
+
+class TestEncodeErrors:
+    def test_wrong_operand_count(self):
+        bad = Instruction(address=0, opcode=Opcode.JMP, operands=(),
+                          length=5)
+        with pytest.raises(EncodingError):
+            encode(bad)
+
+    def test_register_out_of_range(self):
+        bad = Instruction(address=0, opcode=Opcode.PUSH, operands=(99,),
+                          length=2)
+        with pytest.raises(EncodingError):
+            encode(bad)
+
+    def test_imm32_out_of_range(self):
+        bad = Instruction(address=0, opcode=Opcode.JMP,
+                          operands=(1 << 33,), length=5)
+        with pytest.raises(EncodingError):
+            encode(bad)
+
+    def test_imm16_out_of_range(self):
+        bad = Instruction(address=0, opcode=Opcode.ENTER,
+                          operands=(1 << 17,), length=3)
+        with pytest.raises(EncodingError):
+            encode(bad)
+
+
+class TestDecodeErrors:
+    def test_invalid_opcode(self):
+        with pytest.raises(InvalidInstructionError) as ei:
+            decode(b"\x00\x00\x00", 0, 0x400)
+        assert ei.value.address == 0x400
+
+    def test_truncated_instruction(self):
+        raw = encode(make(Opcode.JMP, 0x1234))
+        with pytest.raises(InvalidInstructionError):
+            decode(raw[:3], 0, 0)
+
+    def test_offset_past_end(self):
+        with pytest.raises(InvalidInstructionError):
+            decode(b"\x01", 5, 0)
+
+    def test_bad_register_byte(self):
+        raw = bytes([int(Opcode.PUSH), 200])
+        with pytest.raises(InvalidInstructionError):
+            decode(raw, 0, 0)
+
+    @given(st.binary(min_size=1, max_size=16))
+    def test_decode_never_crashes_on_garbage(self, blob):
+        """Arbitrary bytes either decode or raise InvalidInstructionError."""
+        try:
+            insn = decode(blob, 0, 0)
+            assert insn.length <= len(blob)
+        except InvalidInstructionError:
+            pass

@@ -1,0 +1,323 @@
+"""Tests for the concurrent hash map (Listings 4–6 semantics)."""
+
+import sys
+import threading
+
+import pytest
+
+from repro.runtime import (
+    ConcurrentHashMap,
+    SerialRuntime,
+    ThreadRuntime,
+    VirtualTimeRuntime,
+)
+from repro.runtime.cost import CostModel
+
+FREE = CostModel(spawn=0, task_pop=0, lock_handoff=0, map_op=0)
+
+
+class TestBasicOperations:
+    def test_insert_if_absent(self):
+        rt = SerialRuntime()
+
+        def body():
+            m = ConcurrentHashMap(rt)
+            assert m.insert("a", 1)
+            assert not m.insert("a", 2)
+            assert m.get("a") == 1
+
+        rt.run(body)
+
+    def test_get_default(self):
+        rt = SerialRuntime()
+
+        def body():
+            m = ConcurrentHashMap(rt)
+            assert m.get("missing") is None
+            assert m.get("missing", 7) == 7
+
+        rt.run(body)
+
+    def test_contains_and_len(self):
+        rt = SerialRuntime()
+
+        def body():
+            m = ConcurrentHashMap(rt)
+            m.insert(1, "x")
+            m.insert(2, "y")
+            assert 1 in m and 2 in m and 3 not in m
+            assert len(m) == 2
+
+        rt.run(body)
+
+    def test_remove(self):
+        rt = SerialRuntime()
+
+        def body():
+            m = ConcurrentHashMap(rt)
+            m.insert("k", 1)
+            assert m.remove("k")
+            assert not m.remove("k")
+            assert "k" not in m
+
+        rt.run(body)
+
+    def test_sorted_items_deterministic(self):
+        rt = SerialRuntime()
+
+        def body():
+            m = ConcurrentHashMap(rt)
+            for k in (5, 3, 9, 1):
+                m.insert(k, k * 10)
+            assert m.sorted_items() == [(1, 10), (3, 30), (5, 50), (9, 90)]
+            assert m.sorted_items(key=lambda k: -k)[0] == (9, 90)
+
+        rt.run(body)
+
+    def test_iteration(self):
+        rt = SerialRuntime()
+
+        def body():
+            m = ConcurrentHashMap(rt)
+            for k in range(10):
+                m.insert(k, k)
+            assert sorted(m.keys()) == list(range(10))
+            assert sorted(m.values()) == list(range(10))
+
+        rt.run(body)
+
+
+class TestAccessor:
+    def test_created_flag(self):
+        rt = SerialRuntime()
+
+        def body():
+            m = ConcurrentHashMap(rt)
+            with m.accessor("k") as acc:
+                assert acc.created
+                assert not acc.has_value
+                acc.value = 10
+            with m.accessor("k") as acc:
+                assert not acc.created
+                assert acc.value == 10
+
+        rt.run(body)
+
+    def test_read_before_set_raises(self):
+        rt = SerialRuntime()
+
+        def body():
+            m = ConcurrentHashMap(rt)
+            with m.accessor("k") as acc:
+                with pytest.raises(KeyError):
+                    _ = acc.value
+
+        rt.run(body)
+
+    def test_accessor_no_create_on_missing(self):
+        rt = SerialRuntime()
+
+        def body():
+            m = ConcurrentHashMap(rt)
+            with m.accessor("nope", create=False) as acc:
+                assert acc is None
+            assert "nope" not in m
+
+        rt.run(body)
+
+    def test_accessor_mutual_exclusion_vtime(self):
+        """Two workers mutating one entry serialize in virtual time."""
+        rt = VirtualTimeRuntime(2, cost_model=FREE)
+        box = {}
+
+        def bump():
+            m = box["m"]
+            with m.accessor("ctr") as acc:
+                v = acc.value if acc.has_value else 0
+                rt.charge(100)  # long critical section
+                acc.value = v + 1
+
+        def body():
+            box["m"] = ConcurrentHashMap(rt)
+            g = rt.task_group()
+            g.spawn(bump)
+            g.spawn(bump)
+            g.wait()
+            return box["m"].get("ctr")
+
+        assert rt.run(body) == 2
+        assert rt.makespan == 200  # serialized, not 100
+
+
+class TestInvariantUnderVirtualTime:
+    def test_exactly_one_insert_wins(self):
+        """Invariant 1: concurrent block creation at one address."""
+        rt = VirtualTimeRuntime(8, cost_model=FREE)
+        winners = []
+        box = {}
+
+        def attempt(i):
+            rt.charge(i)  # desynchronize clocks
+            if box["m"].insert(0x400, f"block-by-{i}"):
+                winners.append(i)
+
+        def body():
+            box["m"] = ConcurrentHashMap(rt)
+            g = rt.task_group()
+            for i in range(8):
+                g.spawn(attempt, i)
+            g.wait()
+
+        rt.run(body)
+        assert len(winners) == 1
+
+    def test_deterministic_winner(self):
+        def go():
+            rt = VirtualTimeRuntime(4, cost_model=FREE)
+            box = {}
+            won = []
+
+            def attempt(i):
+                rt.charge(10 - i)
+                if box["m"].insert("k", i):
+                    won.append(i)
+
+            def body():
+                box["m"] = ConcurrentHashMap(rt)
+                g = rt.task_group()
+                for i in range(4):
+                    g.spawn(attempt, i)
+                g.wait()
+
+            rt.run(body)
+            return won
+
+        assert go() == go()
+
+
+class TestThreadBackendStress:
+    """Real threads hammering the map under a tiny switch interval."""
+
+    @pytest.fixture(autouse=True)
+    def fast_switching(self):
+        old = sys.getswitchinterval()
+        sys.setswitchinterval(1e-6)
+        yield
+        sys.setswitchinterval(old)
+
+    def test_insert_uniqueness_under_preemption(self):
+        rt = ThreadRuntime(8)
+        box = {}
+        wins = []
+        wins_lock = threading.Lock()
+
+        def attempt(i):
+            for k in range(50):
+                if box["m"].insert(k, i):
+                    with wins_lock:
+                        wins.append(k)
+
+        def body():
+            box["m"] = ConcurrentHashMap(rt)
+            g = rt.task_group()
+            for i in range(8):
+                g.spawn(attempt, i)
+            g.wait()
+
+        rt.run(body)
+        assert sorted(wins) == list(range(50))  # each key created once
+
+    def test_accessor_counter_no_lost_updates(self):
+        rt = ThreadRuntime(8)
+        box = {}
+
+        def bump():
+            m = box["m"]
+            for _ in range(200):
+                with m.accessor("ctr") as acc:
+                    acc.value = (acc.value if acc.has_value else 0) + 1
+
+        def body():
+            box["m"] = ConcurrentHashMap(rt)
+            g = rt.task_group()
+            for _ in range(8):
+                g.spawn(bump)
+            g.wait()
+
+        rt.run(body)
+        assert box["m"].get("ctr") == 8 * 200
+
+
+class TestThreadRuntime:
+    def test_runs_tasks_and_returns(self):
+        rt = ThreadRuntime(4)
+        seen = []
+        lock = threading.Lock()
+
+        def task(i):
+            with lock:
+                seen.append(i)
+
+        def body():
+            g = rt.task_group()
+            for i in range(20):
+                g.spawn(task, i)
+            g.wait()
+            return "ok"
+
+        assert rt.run(body) == "ok"
+        assert sorted(seen) == list(range(20))
+        assert rt.makespan > 0
+
+    def test_exception_propagates(self):
+        rt = ThreadRuntime(2)
+
+        def body():
+            g = rt.task_group()
+            g.spawn(lambda: 1 / 0)
+            g.wait()
+
+        with pytest.raises((ZeroDivisionError, Exception)):
+            rt.run(body)
+
+    def test_charge_accumulates(self):
+        rt = ThreadRuntime(2)
+
+        def body():
+            rt.charge(10)
+            rt.charge(5)
+            return rt.now()
+
+        assert rt.run(body) >= 15
+        assert rt.total_busy >= 15
+
+    def test_worker_ids_in_range(self):
+        rt = ThreadRuntime(4)
+        ids = set()
+        lock = threading.Lock()
+
+        def task():
+            with lock:
+                ids.add(rt.worker_id())
+
+        def body():
+            g = rt.task_group()
+            for _ in range(100):
+                g.spawn(task)
+            g.wait()
+
+        rt.run(body)
+        assert ids <= set(range(4))
+
+
+class TestFactory:
+    def test_make_runtime(self):
+        from repro.runtime import make_runtime
+
+        assert make_runtime("serial", 1).num_workers == 1
+        assert make_runtime("vtime", 4).num_workers == 4
+        assert make_runtime("threads", 2).num_workers == 2
+        with pytest.raises(ValueError):
+            make_runtime("bogus", 1)
+        with pytest.raises(ValueError):
+            make_runtime("serial", 2)

@@ -1,0 +1,127 @@
+"""Tests for the single-worker serial runtime."""
+
+import pytest
+
+from repro.errors import RuntimeConfigError
+from repro.runtime import SerialRuntime
+from repro.runtime.cost import CostModel
+
+
+def test_charge_advances_clock():
+    rt = SerialRuntime()
+
+    def body():
+        rt.charge(100)
+        assert rt.now() == 100
+        rt.charge(50)
+
+    rt.run(body)
+    assert rt.makespan == 150
+
+
+def test_worker_identity():
+    rt = SerialRuntime()
+    rt.run(lambda: None)
+    assert rt.num_workers == 1
+    assert rt.worker_id() == 0
+
+
+def test_task_group_runs_all_tasks():
+    rt = SerialRuntime()
+    seen = []
+
+    def body():
+        g = rt.task_group()
+        for i in range(5):
+            g.spawn(seen.append, i)
+        g.wait()
+
+    rt.run(body)
+    assert sorted(seen) == [0, 1, 2, 3, 4]
+
+
+def test_nested_spawn_during_task():
+    rt = SerialRuntime()
+    seen = []
+
+    def body():
+        g = rt.task_group()
+
+        def outer(i):
+            seen.append(("outer", i))
+            if i < 2:
+                g.spawn(outer, i + 1)
+
+        g.spawn(outer, 0)
+        g.wait()
+
+    rt.run(body)
+    assert ("outer", 2) in seen
+
+
+def test_spawn_and_pop_costs_accrue():
+    cm = CostModel(spawn=7, task_pop=3)
+    rt = SerialRuntime(cost_model=cm)
+
+    def body():
+        g = rt.task_group()
+        g.spawn(lambda: rt.charge(10))
+        g.wait()
+
+    rt.run(body)
+    assert rt.makespan == 7 + 3 + 10
+
+
+def test_detached_spawns_drained_by_run():
+    rt = SerialRuntime()
+    seen = []
+
+    def body():
+        g = rt.task_group()
+        g.spawn(seen.append, 1)
+        # No wait: run() must still drain it.
+
+    rt.run(body)
+    assert seen == [1]
+
+
+def test_parallel_for_sorted_descending():
+    rt = SerialRuntime()
+    order = []
+    rt.run(lambda: rt.parallel_for([3, 1, 2], order.append,
+                                   sort_key=lambda x: x, reverse=True))
+    assert order == [3, 2, 1]
+
+
+def test_lock_is_nonreentrant():
+    rt = SerialRuntime()
+
+    def body():
+        lock = rt.make_lock()
+        with lock:
+            with pytest.raises(RuntimeConfigError):
+                lock.acquire()
+
+    rt.run(body)
+
+
+def test_lock_release_unheld_raises():
+    rt = SerialRuntime()
+
+    def body():
+        with pytest.raises(RuntimeConfigError):
+            rt.make_lock().release()
+
+    rt.run(body)
+
+
+def test_single_use():
+    rt = SerialRuntime()
+    rt.run(lambda: None)
+    with pytest.raises(RuntimeConfigError):
+        rt.run(lambda: None)
+
+
+def test_run_returns_result():
+    rt = SerialRuntime()
+    assert rt.run(lambda: 42) == 42

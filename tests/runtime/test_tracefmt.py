@@ -1,0 +1,60 @@
+"""Tests for the ASCII trace renderer."""
+
+from repro.runtime import VirtualTimeRuntime
+from repro.runtime.api import PhaseSpan, Trace, TraceInterval
+from repro.runtime.cost import CostModel
+from repro.runtime.tracefmt import render_trace
+
+FREE = CostModel(spawn=0, task_pop=0, lock_handoff=0, map_op=0)
+
+
+class TestRenderTrace:
+    def test_empty_trace(self):
+        assert render_trace(Trace(4)) == "(empty trace)"
+
+    def test_hand_built_trace(self):
+        tr = Trace(2)
+        tr.intervals.append(TraceInterval(0, 0, 100, "a"))
+        tr.intervals.append(TraceInterval(1, 50, 100, "b"))
+        tr.phases.append(PhaseSpan("setup", 0, 50))
+        tr.phases.append(PhaseSpan("work", 50, 100))
+        out = render_trace(tr, width=20)
+        lines = out.splitlines()
+        assert lines[0].startswith("phases")
+        assert any(line.startswith("w00") for line in lines)
+        assert "1=setup" in lines[-1] and "2=work" in lines[-1]
+
+    def test_busy_density_visible(self):
+        tr = Trace(1)
+        tr.intervals.append(TraceInterval(0, 0, 50, "x"))
+        tr.phases.append(PhaseSpan("all", 0, 100))  # idle second half
+        out = render_trace(tr, width=10, worker_rows=1)
+        row = next(l for l in out.splitlines() if l.startswith("w00"))
+        cells = row.split(" ", 1)[1]
+        assert cells[0] != " "
+        assert cells[-1] == " "
+
+    def test_real_runtime_trace(self):
+        rt = VirtualTimeRuntime(4, cost_model=FREE, enable_trace=True)
+
+        def body():
+            with rt.phase("p1"):
+                g = rt.task_group()
+                for _ in range(8):
+                    g.spawn(rt.charge, 100)
+                g.wait()
+
+        rt.run(body)
+        out = render_trace(rt.trace, width=40)
+        assert "1=p1" in out
+        assert len(out.splitlines()) >= 3
+
+    def test_many_workers_bucketed_into_rows(self):
+        tr = Trace(64)
+        for w in range(64):
+            tr.intervals.append(TraceInterval(w, 0, 10, "t"))
+        out = render_trace(tr, width=10, worker_rows=8)
+        worker_rows = [l for l in out.splitlines() if l.startswith("w")]
+        assert len(worker_rows) == 8
+        assert worker_rows[0].startswith("w00-07")
+        assert worker_rows[-1].startswith("w56-63")

@@ -1,0 +1,393 @@
+"""Tests for the deterministic virtual-time runtime.
+
+These tests pin down the semantics everything else depends on: parallel
+makespans, determinism, lock contention in virtual time, fork-join
+synchronization, idle accounting, deadlock detection and tracing.
+"""
+
+import pytest
+
+from repro.errors import RuntimeConfigError, SimDeadlockError
+from repro.runtime import SerialRuntime, VirtualTimeRuntime
+from repro.runtime.cost import CostModel
+
+# A cost model with zero overheads isolates the scheduling semantics.
+FREE = CostModel(spawn=0, task_pop=0, lock_handoff=0, map_op=0)
+
+
+def run_tasks(rt, costs):
+    """Spawn one charge(c) task per cost and wait."""
+
+    def body():
+        g = rt.task_group()
+        for c in costs:
+            g.spawn(rt.charge, c)
+        g.wait()
+
+    rt.run(body)
+    return rt.makespan
+
+
+class TestMakespan:
+    def test_perfectly_parallel(self):
+        rt = VirtualTimeRuntime(4, cost_model=FREE)
+        assert run_tasks(rt, [100] * 4) == 100
+
+    def test_serialized_on_one_worker(self):
+        rt = VirtualTimeRuntime(1, cost_model=FREE)
+        assert run_tasks(rt, [100] * 4) == 400
+
+    def test_imbalance_dominates(self):
+        """One long task bounds the makespan regardless of workers."""
+        rt = VirtualTimeRuntime(8, cost_model=FREE)
+        assert run_tasks(rt, [1000] + [10] * 7) == 1000
+
+    def test_more_tasks_than_workers(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE)
+        # 6 tasks of 10 on 2 workers -> 30 each.
+        assert run_tasks(rt, [10] * 6) == 30
+
+    def test_spawn_cost_serializes(self):
+        """Task spawning is serial work on the spawner (Amdahl term)."""
+        cm = CostModel(spawn=50, task_pop=0, lock_handoff=0, map_op=0)
+        rt = VirtualTimeRuntime(4, cost_model=cm)
+        makespan = run_tasks(rt, [10] * 4)
+        # Last task is spawned at 200, runs 10.
+        assert makespan == 210
+
+    def test_driver_serial_work_adds(self):
+        rt = VirtualTimeRuntime(4, cost_model=FREE)
+
+        def body():
+            rt.charge(500)  # serial phase
+            g = rt.task_group()
+            for _ in range(4):
+                g.spawn(rt.charge, 100)
+            g.wait()
+
+        rt.run(body)
+        assert rt.makespan == 600
+
+
+class TestDeterminism:
+    def _workload(self, rt):
+        results = []
+
+        def task(i):
+            rt.charge(10 * (i % 7) + 1)
+            results.append((rt.worker_id(), i, rt.now()))
+
+        def body():
+            g = rt.task_group()
+            for i in range(50):
+                g.spawn(task, i)
+            g.wait()
+
+        rt.run(body)
+        return rt.makespan, results
+
+    def test_identical_runs(self):
+        a = self._workload(VirtualTimeRuntime(8))
+        b = self._workload(VirtualTimeRuntime(8))
+        assert a == b
+
+    def test_worker_count_changes_makespan_not_results(self):
+        m4, r4 = self._workload(VirtualTimeRuntime(4))
+        m8, r8 = self._workload(VirtualTimeRuntime(8))
+        assert m8 <= m4
+        assert sorted(i for _, i, _ in r4) == sorted(i for _, i, _ in r8)
+
+    def test_one_worker_matches_serial_runtime(self):
+        """VT with one worker and SerialRuntime account identically."""
+
+        def program(rt):
+            rt.charge(25)
+            g = rt.task_group()
+            for i in range(10):
+                g.spawn(rt.charge, i * 3)
+            g.wait()
+            rt.charge(7)
+
+        vt = VirtualTimeRuntime(1)
+        vt.run(program, vt)
+        sr = SerialRuntime()
+        sr.run(program, sr)
+        assert vt.makespan == sr.makespan
+
+
+class TestLocks:
+    def test_uncontended_lock_is_free(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE)
+
+        def body():
+            lock = rt.make_lock()
+            with lock:
+                rt.charge(10)
+
+        rt.run(body)
+        assert rt.makespan == 10
+
+    def test_contention_serializes_critical_sections(self):
+        cm = CostModel(spawn=0, task_pop=0, lock_handoff=0, map_op=0)
+        rt = VirtualTimeRuntime(4, cost_model=cm)
+        lock_box = {}
+
+        def task():
+            with lock_box["lock"]:
+                rt.charge(100)
+
+        def body():
+            lock_box["lock"] = rt.make_lock()
+            g = rt.task_group()
+            for _ in range(4):
+                g.spawn(task)
+            g.wait()
+
+        rt.run(body)
+        assert rt.makespan == 400  # fully serialized by the lock
+
+    def test_lock_handoff_cost(self):
+        cm = CostModel(spawn=0, task_pop=0, lock_handoff=9, map_op=0)
+        rt = VirtualTimeRuntime(2, cost_model=cm)
+        lock_box = {}
+
+        def task():
+            with lock_box["lock"]:
+                rt.charge(100)
+
+        def body():
+            lock_box["lock"] = rt.make_lock()
+            g = rt.task_group()
+            g.spawn(task)
+            g.spawn(task)
+            g.wait()
+
+        rt.run(body)
+        assert rt.makespan == 209  # 100 + handoff + 100
+
+    def test_recursive_acquire_rejected(self):
+        rt = VirtualTimeRuntime(1, cost_model=FREE)
+
+        def body():
+            lock = rt.make_lock()
+            lock.acquire()
+            with pytest.raises(RuntimeConfigError):
+                lock.acquire()
+            lock.release()
+
+        rt.run(body)
+
+    def test_release_by_non_owner_rejected(self):
+        rt = VirtualTimeRuntime(1, cost_model=FREE)
+
+        def body():
+            with pytest.raises(RuntimeConfigError):
+                rt.make_lock().release()
+
+        rt.run(body)
+
+    def test_independent_locks_do_not_interact(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE)
+        locks = {}
+
+        def task(name):
+            with locks[name]:
+                rt.charge(100)
+
+        def body():
+            locks["a"] = rt.make_lock()
+            locks["b"] = rt.make_lock()
+            g = rt.task_group()
+            g.spawn(task, "a")
+            g.spawn(task, "b")
+            g.wait()
+
+        rt.run(body)
+        assert rt.makespan == 100
+
+
+class TestGroups:
+    def test_wait_jumps_clock_to_completion(self):
+        rt = VirtualTimeRuntime(4, cost_model=FREE)
+        observed = {}
+
+        def body():
+            g = rt.task_group()
+            g.spawn(rt.charge, 500)
+            g.wait()
+            observed["after"] = rt.now()
+
+        rt.run(body)
+        assert observed["after"] == 500
+
+    def test_waiter_helps_run_tasks(self):
+        """A group wait on a single worker executes the tasks itself."""
+        rt = VirtualTimeRuntime(1, cost_model=FREE)
+        seen = []
+
+        def body():
+            g = rt.task_group()
+            for i in range(3):
+                g.spawn(seen.append, i)
+            g.wait()
+
+        rt.run(body)
+        assert seen == [0, 1, 2]
+
+    def test_nested_groups(self):
+        rt = VirtualTimeRuntime(4, cost_model=FREE)
+        seen = []
+
+        def outer(i):
+            g = rt.task_group()
+            for j in range(3):
+                g.spawn(seen.append, (i, j))
+            g.wait()
+
+        def body():
+            g = rt.task_group()
+            for i in range(3):
+                g.spawn(outer, i)
+            g.wait()
+
+        rt.run(body)
+        assert len(seen) == 9
+
+    def test_spawn_on_discovery(self):
+        """Tasks spawning tasks into their own group (Section 6.3)."""
+        rt = VirtualTimeRuntime(4, cost_model=FREE)
+        seen = []
+        box = {}
+
+        def visit(depth):
+            seen.append(depth)
+            rt.charge(5)
+            if depth < 4:
+                box["g"].spawn(visit, depth + 1)
+                box["g"].spawn(visit, depth + 1)
+
+        def body():
+            box["g"] = rt.task_group()
+            box["g"].spawn(visit, 0)
+            box["g"].wait()
+
+        rt.run(body)
+        assert len(seen) == 2 ** 5 - 1
+
+
+class TestErrors:
+    def test_task_exception_propagates(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE)
+
+        def bad():
+            raise ValueError("boom")
+
+        def body():
+            g = rt.task_group()
+            g.spawn(bad)
+            g.wait()
+
+        with pytest.raises((ValueError, RuntimeConfigError)):
+            rt.run(body)
+
+    def test_root_exception_propagates(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE)
+        with pytest.raises(ZeroDivisionError):
+            rt.run(lambda: 1 / 0)
+
+    def test_deadlock_detected(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE)
+
+        def body():
+            lock = rt.make_lock()
+            lock.acquire()
+
+            def task():
+                lock.acquire()  # never released by owner
+
+            g = rt.task_group()
+            g.spawn(task)
+            g.wait()
+
+        with pytest.raises((SimDeadlockError, RuntimeConfigError)):
+            rt.run(body)
+
+    def test_single_use(self):
+        rt = VirtualTimeRuntime(1, cost_model=FREE)
+        rt.run(lambda: None)
+        with pytest.raises(RuntimeConfigError):
+            rt.run(lambda: None)
+
+    def test_api_outside_run_rejected(self):
+        rt = VirtualTimeRuntime(1)
+        with pytest.raises(RuntimeConfigError):
+            rt.charge(1)
+
+
+class TestTraceAndStats:
+    def test_phase_spans_recorded(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE, enable_trace=True)
+
+        def body():
+            with rt.phase("alpha"):
+                rt.charge(100)
+            with rt.phase("beta"):
+                g = rt.task_group()
+                g.spawn(rt.charge, 50)
+                g.wait()
+
+        rt.run(body)
+        alpha = rt.trace.phase_span("alpha")
+        beta = rt.trace.phase_span("beta")
+        assert alpha.duration == 100
+        assert beta.start == 100
+        assert beta.duration == 50
+
+    def test_task_intervals_recorded(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE, enable_trace=True)
+
+        def work():
+            rt.charge(30)
+
+        def body():
+            g = rt.task_group()
+            g.spawn(work)
+            g.wait()
+
+        rt.run(body)
+        ivs = [iv for iv in rt.trace.intervals if iv.tag == "work"]
+        assert len(ivs) == 1
+        assert ivs[0].end - ivs[0].start == 30
+
+    def test_utilization(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE)
+        run_tasks(rt, [100, 100])
+        assert rt.utilization() == pytest.approx(1.0)
+
+        rt2 = VirtualTimeRuntime(2, cost_model=FREE)
+        run_tasks(rt2, [200])  # one worker idle throughout
+        assert rt2.utilization() == pytest.approx(0.5)
+
+    def test_makespan_before_run_rejected(self):
+        rt = VirtualTimeRuntime(1)
+        with pytest.raises(RuntimeConfigError):
+            _ = rt.makespan
+
+    def test_result_returned(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE)
+        assert rt.run(lambda: "done") == "done"
+
+
+class TestScaling:
+    @pytest.mark.parametrize("workers", [1, 2, 4, 8, 16, 32, 64])
+    def test_speedup_curve_embarrassingly_parallel(self, workers):
+        rt = VirtualTimeRuntime(workers, cost_model=FREE)
+        makespan = run_tasks(rt, [64] * 64)
+        assert makespan == 64 * 64 // workers
+
+    def test_monotone_speedup(self):
+        spans = []
+        for n in (1, 2, 4, 8):
+            rt = VirtualTimeRuntime(n)
+            spans.append(run_tasks(rt, [97] * 100))
+        assert spans == sorted(spans, reverse=True)

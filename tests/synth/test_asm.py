@@ -1,0 +1,97 @@
+"""Tests for the two-pass assembler."""
+
+import pytest
+
+from repro.errors import SynthesisError
+from repro.isa import Cond, Decoder, Opcode, Reg
+from repro.synth.asm import Assembler, L
+
+
+class TestAssembler:
+    def test_forward_and_backward_labels(self):
+        a = Assembler(0x1000)
+        a.label("top")
+        a.nop()
+        a.jmp(L("bottom"))       # forward reference
+        a.label("bottom")
+        a.jmp(L("top"))          # backward reference
+        code, labels = a.assemble()
+        d = Decoder(code, 0x1000)
+        jmp1 = d.decode_at(labels["top"] + 1)
+        assert jmp1.direct_target == labels["bottom"]
+        jmp2 = d.decode_at(labels["bottom"])
+        assert jmp2.direct_target == 0x1000
+
+    def test_label_addresses_account_for_lengths(self):
+        a = Assembler(0x2000)
+        a.nop()                      # 1 byte
+        a.mov_ri(Reg.R1, 5)          # 6 bytes
+        a.label("here")
+        a.ret()
+        _, labels = a.assemble()
+        assert labels["here"] == 0x2007
+
+    def test_duplicate_label_rejected(self):
+        a = Assembler(0)
+        a.label("x")
+        with pytest.raises(SynthesisError):
+            a.label("x")
+
+    def test_undefined_label_rejected(self):
+        a = Assembler(0)
+        a.jmp(L("nowhere"))
+        with pytest.raises(SynthesisError):
+            a.assemble()
+
+    def test_raw_bytes_emitted_verbatim(self):
+        a = Assembler(0x100)
+        a.nop()
+        a.raw(b"\xff\xff")
+        a.label("after")
+        a.ret()
+        code, labels = a.assemble()
+        assert code[1:3] == b"\xff\xff"
+        assert labels["after"] == 0x103
+
+    def test_jcc_with_cond(self):
+        a = Assembler(0)
+        a.cmp_ri(Reg.R1, 3)
+        a.jcc(Cond.A, L("out"))
+        a.label("out")
+        code, labels = a.assemble()
+        d = Decoder(code, 0)
+        jcc = d.decode_at(6)
+        assert jcc.opcode is Opcode.JCC
+        assert jcc.cond is Cond.A
+        assert jcc.direct_target == labels["out"]
+
+    def test_size_and_current_address(self):
+        a = Assembler(0x10)
+        assert a.size == 0
+        a.nop()
+        assert a.size == 1
+        assert a.current_address == 0x11
+
+    def test_end_of_stream_label(self):
+        a = Assembler(0)
+        a.nop()
+        a.label("end")
+        _, labels = a.assemble()
+        assert labels["end"] == 1
+
+    def test_decode_whole_stream(self):
+        """Assembled output decodes back instruction by instruction."""
+        a = Assembler(0x400)
+        a.enter(16)
+        a.mov_ri(Reg.R1, 42)
+        a.cmp_ri(Reg.R1, 0)
+        a.jcc(Cond.EQ, L("skip"))
+        a.call(L("skip"))
+        a.label("skip")
+        a.leave()
+        a.ret()
+        code, _ = a.assemble()
+        d = Decoder(code, 0x400)
+        ops = [i.opcode for i in d.iter_from(0x400)]
+        assert ops == [Opcode.ENTER, Opcode.MOV_RI, Opcode.CMP_RI,
+                       Opcode.JCC, Opcode.CALL, Opcode.LEAVE, Opcode.RET]

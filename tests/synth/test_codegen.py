@@ -1,0 +1,199 @@
+"""Tests for code generation: layout, metadata and ground-truth coherence."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.binary import format as fmt
+from repro.isa import ControlFlowKind, Opcode
+from repro.synth import GenParams, generate_program, synthesize, tiny_binary
+from repro.synth.codegen import RODATA_BASE, TEXT_BASE
+from repro.synth.program import ERROR_FUNC_NAME
+
+
+@pytest.fixture(scope="module")
+def tiny():
+    return tiny_binary(seed=7)
+
+
+class TestLayout:
+    def test_sections_present(self, tiny):
+        img = tiny.binary.image
+        for name in (fmt.TEXT, fmt.RODATA, fmt.SYMTAB, fmt.DYNSYM,
+                     fmt.DEBUG, fmt.EH_FRAME):
+            assert img.has_section(name)
+
+    def test_symbols_decode_to_instructions(self, tiny):
+        d = tiny.binary.decoder
+        for sym in tiny.binary.symtab.functions():
+            insn = d.decode_at(sym.offset)
+            assert insn.length >= 1
+
+    def test_every_symbol_function_ends_within_text(self, tiny):
+        text = tiny.binary.image.text
+        for sym in tiny.binary.symtab.functions():
+            assert text.addr <= sym.offset
+            assert sym.offset + sym.size <= text.end
+
+    def test_roundtrip_through_serialization(self, tiny):
+        from repro.binary.loader import load_image
+
+        raw = tiny.binary.image.to_bytes()
+        back = load_image(raw)
+        assert back.entry_addresses() == tiny.binary.entry_addresses()
+        assert back.debug_info.die_count() == \
+            tiny.binary.debug_info.die_count()
+
+
+class TestJumpTables:
+    def test_tables_contain_text_addresses(self, tiny):
+        img = tiny.binary.image
+        text = img.text
+        for addr, size in tiny.ground_truth.jump_tables.items():
+            assert addr >= RODATA_BASE
+            for i in range(size):
+                target = img.read_word(addr + 8 * i)
+                assert text.contains(target)
+
+    def test_table_targets_decode(self, tiny):
+        img = tiny.binary.image
+        d = tiny.binary.decoder
+        for addr, size in tiny.ground_truth.jump_tables.items():
+            for i in range(size):
+                d.decode_at(img.read_word(addr + 8 * i))
+
+    def test_tables_are_contiguous_and_terminated(self, tiny):
+        gt = tiny.ground_truth
+        tables = sorted(gt.jump_tables.items())
+        cursor = RODATA_BASE
+        for addr, size in tables:
+            assert addr == cursor
+            cursor += 8 * size
+        # terminator word of zeros after the last table
+        assert tiny.binary.image.read_word(cursor) == 0
+
+
+class TestGroundTruth:
+    def test_entry_names_cover_symtab_functions(self, tiny):
+        gt = tiny.ground_truth
+        symtab_entries = {s.offset for s in tiny.binary.symtab.functions()
+                          if not s.name.endswith(".cold")
+                          and not s.name.endswith("__entry2")}
+        assert symtab_entries <= set(gt.entry_names)
+
+    def test_ranges_are_normalized(self, tiny):
+        for name, ranges in tiny.ground_truth.function_ranges.items():
+            assert ranges == sorted(ranges)
+            for (lo1, hi1), (lo2, _) in zip(ranges, ranges[1:]):
+                assert hi1 < lo2, f"{name} ranges not disjoint"
+            for lo, hi in ranges:
+                assert lo < hi
+
+    def test_entry_is_start_of_first_range(self, tiny):
+        gt = tiny.ground_truth
+        for entry, name in gt.entry_names.items():
+            ranges = gt.function_ranges[name]
+            starts = [lo for lo, _ in ranges]
+            assert entry in starts or entry == min(starts)
+
+    def test_noreturn_calls_are_call_instructions(self, tiny):
+        d = tiny.binary.decoder
+        assert tiny.ground_truth.noreturn_calls
+        for addr in tiny.ground_truth.noreturn_calls:
+            insn = d.decode_at(addr)
+            assert insn.cf_kind is ControlFlowKind.CALL
+
+    def test_error_report_generated(self, tiny):
+        syms = tiny.binary.symtab.by_mangled_name(ERROR_FUNC_NAME)
+        assert len(syms) == 1
+        # Its body: CMP; JCC; CALL exit; RET
+        d = tiny.binary.decoder
+        ops = []
+        addr = syms[0].offset
+        for insn in d.iter_from(addr):
+            ops.append(insn.opcode)
+            if len(ops) >= 4:
+                break
+        assert ops == [Opcode.CMP_RI, Opcode.JCC, Opcode.CALL, Opcode.RET]
+
+    def test_shared_error_ranges_appear_in_multiple_functions(self, tiny):
+        gt = tiny.ground_truth
+        all_ranges: dict[tuple, list[str]] = {}
+        for name, ranges in gt.function_ranges.items():
+            for r in ranges:
+                all_ranges.setdefault(r, []).append(name)
+        shared = [names for names in all_ranges.values() if len(names) > 1]
+        assert shared, "expected at least one shared range"
+
+    def test_cold_symbols_not_in_ground_truth_entries(self, tiny):
+        cold_syms = [s for s in tiny.binary.symtab.functions()
+                     if s.name.endswith(".cold")]
+        assert cold_syms, "tiny preset should emit a cold fragment"
+        for s in cold_syms:
+            assert s.offset not in tiny.ground_truth.entry_names
+
+    def test_cold_range_inside_parent_ranges(self, tiny):
+        gt = tiny.ground_truth
+        for s in tiny.binary.symtab.functions():
+            if not s.name.endswith(".cold"):
+                continue
+            parent_pretty = s.name.removesuffix(".cold")
+            parents = [n for n in gt.function_ranges
+                       if parent_pretty in n]
+            assert parents
+            covered = any(
+                any(lo <= s.offset and s.offset + s.size <= hi
+                    for lo, hi in gt.function_ranges[p])
+                for p in parents
+            )
+            assert covered
+
+
+class TestDebugInfo:
+    def test_dwarf_function_count_matches_spec(self, tiny):
+        di = tiny.binary.debug_info
+        assert len(di.all_functions()) == len(tiny.spec.functions)
+
+    def test_line_rows_sorted(self, tiny):
+        for cu in tiny.binary.debug_info.cus:
+            addrs = [r.addr for r in cu.line_rows]
+            assert addrs == sorted(addrs)
+
+    def test_inline_ranges_nested(self, tiny):
+        for f in tiny.binary.debug_info.all_functions():
+            lo = min(l for l, _ in f.ranges) if f.ranges else 0
+            hi = max(h for _, h in f.ranges) if f.ranges else 0
+
+            def check(inl, lo, hi):
+                for ilo, ihi in inl.ranges:
+                    assert lo <= ilo < ihi <= hi
+                for c in inl.children:
+                    check(c, inl.ranges[0][0], inl.ranges[0][1])
+
+            for inl in f.inlines:
+                check(inl, lo, hi)
+
+    def test_type_dies_counted(self, tiny):
+        di = tiny.binary.debug_info
+        assert di.die_count() > len(di.all_functions())
+
+
+class TestDeterminism:
+    def test_same_seed_same_bytes(self):
+        a = tiny_binary(seed=33)
+        b = tiny_binary(seed=33)
+        assert a.binary.image.to_bytes() == b.binary.image.to_bytes()
+
+    def test_different_seed_different_bytes(self):
+        a = tiny_binary(seed=33)
+        b = tiny_binary(seed=34)
+        assert a.binary.image.to_bytes() != b.binary.image.to_bytes()
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_generated_text_base(self, seed):
+        sb = synthesize(generate_program(
+            seed, GenParams(n_functions=20, n_shared_error_groups=1,
+                            shared_group_size=2, noreturn_chain_len=2,
+                            n_noreturn_cycles=1, n_listing1_pairs=1)))
+        assert sb.binary.image.text.addr == TEXT_BASE
+        assert len(sb.binary.symtab) >= 10

@@ -1,0 +1,85 @@
+"""Tests for corpus presets (the paper's evaluation workloads)."""
+
+import pytest
+
+from repro.synth import (
+    camellia_like,
+    coreutils_like_corpus,
+    corpus_stats,
+    forensics_corpus,
+    hpcstruct_binaries,
+    llnl1_like,
+    llnl2_like,
+    tensorflow_like,
+)
+
+
+@pytest.fixture(scope="module")
+def small_set():
+    return hpcstruct_binaries(scale=0.03)
+
+
+class TestPresets:
+    def test_four_hpcstruct_binaries(self, small_set):
+        names = [sb.name for sb in small_set]
+        assert names == ["LLNL1-like", "LLNL2-like", "Camellia-like",
+                         "TensorFlow-like"]
+
+    def test_tensorflow_debug_dominates(self, small_set):
+        stats = corpus_stats(small_set)
+        ratios = {n: s["debug"] / max(1, s["text"])
+                  for n, s in stats.items()}
+        assert max(ratios, key=ratios.get) == "TensorFlow-like"
+
+    def test_all_debug_heavy(self, small_set):
+        stats = corpus_stats(small_set)
+        for name, s in stats.items():
+            assert s["debug"] > s["text"], name
+
+    def test_scale_controls_function_count(self):
+        small = llnl1_like(scale=0.02)
+        large = llnl1_like(scale=0.08)
+        assert len(large.spec.functions) > len(small.spec.functions)
+
+    def test_presets_deterministic(self):
+        a = camellia_like(scale=0.02)
+        b = camellia_like(scale=0.02)
+        assert a.binary.image.to_bytes() == b.binary.image.to_bytes()
+
+    def test_corpus_stats_fields(self, small_set):
+        stats = corpus_stats(small_set)
+        for row in stats.values():
+            assert set(row) == {"total", "text", "debug", "functions",
+                                "symbols"}
+            assert row["total"] >= row["text"] + row["debug"]
+
+
+class TestForensicsCorpus:
+    def test_count_and_names(self):
+        corpus = forensics_corpus(n_binaries=5, scale=0.3)
+        assert len(corpus) == 5
+        assert len({sb.name for sb in corpus}) == 5
+
+    def test_binaries_differ(self):
+        corpus = forensics_corpus(n_binaries=3, scale=0.3)
+        blobs = {sb.binary.image.to_bytes() for sb in corpus}
+        assert len(blobs) == 3
+
+    def test_jump_table_heavy_profile(self):
+        corpus = forensics_corpus(n_binaries=4, scale=0.5)
+        total_tables = sum(len(sb.ground_truth.jump_tables)
+                           for sb in corpus)
+        assert total_tables >= 4  # pct_switch=0.22 profile
+
+
+class TestCoreutilsCorpus:
+    def test_small_binaries_with_ground_truth(self):
+        corpus = coreutils_like_corpus(n_binaries=4)
+        for sb in corpus:
+            assert 8 <= len(sb.spec.functions) <= 45
+            assert sb.ground_truth.function_ranges
+            assert sb.ground_truth.noreturn_calls
+
+    def test_distinct_seeds(self):
+        corpus = coreutils_like_corpus(n_binaries=3)
+        assert len({sb.binary.image.to_bytes() for sb in corpus}) == 3

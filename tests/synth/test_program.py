@@ -1,0 +1,140 @@
+"""Tests for program-spec generation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SynthesisError
+from repro.synth.program import (
+    ERROR_FUNC_NAME,
+    Epilogue,
+    GenParams,
+    KNOWN_NORETURN_NAMES,
+    SegKind,
+    generate_program,
+)
+
+
+def small_params(**kw):
+    defaults = dict(n_functions=30, n_shared_error_groups=1,
+                    shared_group_size=3, noreturn_chain_len=2,
+                    n_noreturn_cycles=1, n_listing1_pairs=1)
+    defaults.update(kw)
+    return GenParams(**defaults)
+
+
+class TestFixedCast:
+    def test_exit_and_error_report_exist(self):
+        spec = generate_program(1, small_params())
+        assert spec.functions[0].name == "exit"
+        assert spec.functions[0].epilogue is Epilogue.HALT
+        assert spec.functions[1].name == ERROR_FUNC_NAME
+
+    def test_noreturn_chain_links_to_exit(self):
+        spec = generate_program(1, small_params(noreturn_chain_len=3))
+        chain = [f for f in spec.functions if "fatal_step" in f.name]
+        assert len(chain) == 3
+        assert chain[0].noreturn_callee == chain[1].index
+        assert chain[-1].noreturn_callee == 0
+
+    def test_noreturn_cycle_is_mutual(self):
+        spec = generate_program(1, small_params())
+        a = spec.function_named("_Z9cycle_a_0v")
+        b = spec.function_named("_Z9cycle_b_0v")
+        assert a.noreturn_callee == b.index
+        assert b.noreturn_callee == a.index
+
+    def test_listing1_pair_shapes(self):
+        spec = generate_program(1, small_params())
+        framed = spec.function_named("_Z11l1_frame_0v")
+        frameless = spec.function_named("_Z14l1_frameless_0v")
+        assert framed.has_frame and not frameless.has_frame
+        assert framed.listing1_shared_jmp == frameless.listing1_shared_jmp == 0
+        assert framed.epilogue is Epilogue.TAIL_CALL
+
+    def test_noreturn_indices_cover_cast(self):
+        spec = generate_program(1, small_params())
+        assert 0 in spec.noreturn_indices
+        a = spec.function_named("_Z9cycle_a_0v")
+        assert a.index in spec.noreturn_indices
+
+
+class TestPopulation:
+    def test_function_count(self):
+        spec = generate_program(3, small_params(n_functions=50))
+        assert len(spec.functions) == 50
+        assert [f.index for f in spec.functions] == list(range(50))
+
+    def test_deterministic_in_seed(self):
+        a = generate_program(42, small_params())
+        b = generate_program(42, small_params())
+        assert [(f.name, f.epilogue, len(f.segments)) for f in a.functions] \
+            == [(f.name, f.epilogue, len(f.segments)) for f in b.functions]
+
+    def test_different_seeds_differ(self):
+        a = generate_program(1, small_params())
+        b = generate_program(2, small_params())
+        assert [f.name for f in a.functions] != [f.name for f in b.functions]
+
+    def test_call_targets_valid(self):
+        spec = generate_program(9, small_params(n_functions=60))
+        n = len(spec.functions)
+        for fn in spec.functions:
+            for seg in fn.segments:
+                if seg.kind is SegKind.CALL:
+                    assert 2 <= seg.callee < n
+                    assert seg.callee != fn.index
+                    assert seg.callee not in spec.noreturn_indices
+            if fn.tail_target is not None:
+                assert fn.tail_target not in spec.noreturn_indices
+
+    def test_hidden_functions_have_callers(self):
+        spec = generate_program(5, small_params(n_functions=80,
+                                                pct_hidden=0.3))
+        hidden = {f.index for f in spec.functions if f.hidden}
+        assert hidden  # the rate guarantees some at this size
+        called = set()
+        for fn in spec.functions:
+            for seg in fn.segments:
+                if seg.kind is SegKind.CALL:
+                    called.add(seg.callee)
+            if fn.tail_target is not None:
+                called.add(fn.tail_target)
+        assert hidden <= called
+
+    def test_shared_error_groups_assigned(self):
+        spec = generate_program(11, small_params(n_shared_error_groups=2,
+                                                 shared_group_size=3))
+        groups = {}
+        for f in spec.functions:
+            if f.shared_error_group is not None:
+                groups.setdefault(f.shared_error_group, []).append(f)
+        assert set(groups) == {0, 1}
+        assert all(len(v) == 3 for v in groups.values())
+
+    def test_multi_entry_functions_are_linear(self):
+        spec = generate_program(5, small_params(n_functions=200,
+                                                pct_multi_entry=0.2))
+        multi = [f for f in spec.functions if f.secondary_entry]
+        assert multi
+        for f in multi:
+            assert all(s.kind is SegKind.LINEAR for s in f.segments)
+
+    def test_too_few_functions_rejected(self):
+        with pytest.raises(SynthesisError):
+            generate_program(1, GenParams(n_functions=4))
+
+    def test_known_noreturn_names_include_exit(self):
+        assert "exit" in KNOWN_NORETURN_NAMES
+        assert "abort" in KNOWN_NORETURN_NAMES
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_any_seed_generates_valid_spec(self, seed):
+        spec = generate_program(seed, small_params(n_functions=40))
+        assert len(spec.functions) == 40
+        for fn in spec.functions:
+            if fn.epilogue is Epilogue.TAIL_CALL and \
+                    fn.listing1_shared_jmp is None:
+                assert fn.tail_target is not None
+            if fn.epilogue is Epilogue.NORETURN_CALL:
+                assert fn.noreturn_callee is not None
