@@ -13,6 +13,7 @@ flatten) are the comparison target, not absolute numbers.
 
 from __future__ import annotations
 
+import json
 import math
 import os
 from statistics import geometric_mean
@@ -33,10 +34,22 @@ HPC_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 
-def write_table(name: str, text: str) -> None:
+def write_table(name: str, text: str, data=None) -> None:
+    """Write a rendered table to ``benchmarks/out/<name>``.
+
+    When ``data`` is given, a machine-readable sidecar is written next to
+    it as ``<stem>.json`` — this is what the perf trajectory is tracked
+    from across PRs (the text tables are for humans; the sidecars are
+    stable, diffable JSON).
+    """
     os.makedirs(OUT_DIR, exist_ok=True)
     with open(os.path.join(OUT_DIR, name), "w") as f:
         f.write(text)
+    if data is not None:
+        stem = os.path.splitext(name)[0]
+        with open(os.path.join(OUT_DIR, stem + ".json"), "w") as f:
+            json.dump(data, f, indent=2, sort_keys=True)
+            f.write("\n")
     print("\n" + text)
 
 

@@ -42,11 +42,17 @@ def test_figure2_phase_trace(benchmark):
         lines.append(f"{label:<42} {p.start:>10,} {p.duration:>10,} "
                      f"{util:>5.0%}")
     lines.append(f"{'TOTAL':<42} {'':>10} {res.makespan:>10,}")
-    from repro.runtime.tracefmt import render_trace
+    from repro.runtime.tracefmt import (
+        render_trace,
+        run_report,
+        validate_report,
+    )
 
     lines.append("")
     lines.append(render_trace(rt.trace, width=96))
-    write_table("figure2.txt", "\n".join(lines))
+    report = run_report(rt, workload="tensorflow")
+    assert validate_report(report) == []
+    write_table("figure2.txt", "\n".join(lines), data=report)
 
     # Phases appear in pipeline order and tile the run.
     starts = [spans[n].start for n in PHASE_LABELS]

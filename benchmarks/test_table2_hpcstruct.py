@@ -30,6 +30,8 @@ def test_table2_hpcstruct_speedups(benchmark, hpc_binaries, hpc_sweep):
              f"{'Binary':<18} {'Cores':>5} {'DWARF':>12} {'CFG':>12} "
              f"{'hpcstruct':>12}"]
     speedups = {}
+    sidecar = {"schema": "repro.bench-table2/1", "scale": HPC_SCALE,
+               "rows": []}
     for sb in hpc_binaries:
         rows = [1, 16] if "TensorFlow" not in sb.name else [1, 16, 32, 64]
         base = hpc_sweep[(sb.name, 1)]
@@ -37,6 +39,11 @@ def test_table2_hpcstruct_speedups(benchmark, hpc_binaries, hpc_sweep):
             r = hpc_sweep[(sb.name, n)]
             lines.append(f"{sb.name:<18} {n:>5} {r.dwarf_time:>12,} "
                          f"{r.cfg_time:>12,} {r.makespan:>12,}")
+            sidecar["rows"].append({
+                "binary": sb.name, "workers": n,
+                "dwarf_cycles": r.dwarf_time, "cfg_cycles": r.cfg_time,
+                "makespan_cycles": r.makespan,
+            })
         r16 = hpc_sweep[(sb.name, 16)]
         sp = (base.dwarf_time / r16.dwarf_time,
               base.cfg_time / r16.cfg_time,
@@ -44,7 +51,7 @@ def test_table2_hpcstruct_speedups(benchmark, hpc_binaries, hpc_sweep):
         speedups[sb.name] = sp
         lines.append(f"{'':<18} {'Spd.':>5} {sp[0]:>11.2f}x "
                      f"{sp[1]:>11.2f}x {sp[2]:>11.2f}x")
-    write_table("table2.txt", "\n".join(lines))
+    write_table("table2.txt", "\n".join(lines), data=sidecar)
 
     for name, (dwarf_sp, cfg_sp, total_sp) in speedups.items():
         # Parallel phases scale well at 16 workers...

@@ -170,11 +170,16 @@ class IndexedSymbols:
 
     def __init__(self, rt: Runtime):
         self._rt = rt
-        self.master: ConcurrentHashMap[Symbol, int] = ConcurrentHashMap(rt)
-        self.by_offset: ConcurrentHashMap[int, list[Symbol]] = ConcurrentHashMap(rt)
-        self.by_mangled: ConcurrentHashMap[str, list[Symbol]] = ConcurrentHashMap(rt)
-        self.by_pretty: ConcurrentHashMap[str, list[Symbol]] = ConcurrentHashMap(rt)
-        self.by_typed: ConcurrentHashMap[str, list[Symbol]] = ConcurrentHashMap(rt)
+        self.master: ConcurrentHashMap[Symbol, int] = \
+            ConcurrentHashMap(rt, name="sym.master")
+        self.by_offset: ConcurrentHashMap[int, list[Symbol]] = \
+            ConcurrentHashMap(rt, name="sym.by_offset")
+        self.by_mangled: ConcurrentHashMap[str, list[Symbol]] = \
+            ConcurrentHashMap(rt, name="sym.by_mangled")
+        self.by_pretty: ConcurrentHashMap[str, list[Symbol]] = \
+            ConcurrentHashMap(rt, name="sym.by_pretty")
+        self.by_typed: ConcurrentHashMap[str, list[Symbol]] = \
+            ConcurrentHashMap(rt, name="sym.by_typed")
 
     def insert(self, sym: Symbol) -> bool:
         """Insert a symbol; False if it was already present (Listing 6)."""

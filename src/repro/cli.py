@@ -6,7 +6,10 @@ Commands:
 - ``parse``     — run parallel CFG construction and print statistics;
 - ``hpcstruct`` — run the structure-recovery pipeline (Figure 2 phases);
 - ``binfeat``   — run feature extraction over a generated corpus;
-- ``check``     — run the correctness checker (Section 8.1).
+- ``check``     — run the correctness checker (Section 8.1);
+- ``trace``     — render the Figure-2 timeline plus the metrics table
+  for one traced run, optionally exporting the versioned run-report
+  JSON (schema: ``docs/OBSERVABILITY.md``).
 
 Workloads are either preset names (``tiny``, ``llnl1``, ``llnl2``,
 ``camellia``, ``tensorflow``) or paths to ``.sbin`` images produced by
@@ -54,10 +57,13 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
                    default="vtime", help="execution backend")
     p.add_argument("--scale", type=float, default=0.1,
                    help="workload scale factor for presets")
+    p.add_argument("--no-metrics", action="store_true",
+                   help="opt out of structured metrics collection")
 
 
 def _make_rt(args, **kw):
     n = 1 if args.runtime == "serial" else args.workers
+    kw.setdefault("enable_metrics", not getattr(args, "no_metrics", False))
     return make_runtime(args.runtime, n, **kw)
 
 
@@ -164,6 +170,46 @@ def cmd_sweep(args) -> int:
     return 0
 
 
+def cmd_trace(args) -> int:
+    """One traced vtime run: Figure-2 timeline + metrics table (+ JSON)."""
+    from repro.runtime.tracefmt import (
+        render_metrics,
+        render_phase_table,
+        render_trace,
+        run_report,
+        validate_report,
+    )
+
+    binary, _ = _load_workload(args.workload, args.scale)
+    rt = make_runtime("vtime", args.workers, enable_trace=True,
+                      enable_metrics=not args.no_metrics)
+    if args.app == "parse":
+        parse_binary(binary, rt, ParseOptions())
+    else:
+        from repro.apps.hpcstruct import hpcstruct
+
+        hpcstruct(binary, rt)
+    print(f"{args.app} trace of {binary.name}: {rt.num_workers} workers, "
+          f"makespan {rt.makespan:,} cycles")
+    print()
+    print(render_trace(rt.trace, width=args.width))
+    print()
+    print(render_phase_table(rt.trace))
+    if not args.no_metrics:
+        print()
+        print(render_metrics(rt.metrics.snapshot()))
+    if args.json:
+        report = run_report(rt, workload=args.workload)
+        errors = validate_report(report)
+        if errors:
+            raise RuntimeError(f"exported report is invalid: {errors}")
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+        print(f"\nrun report written to {args.json}")
+    return 0
+
+
 def cmd_check(args) -> int:
     from repro.apps.checker import check_binary, summarize
     from repro.synth import coreutils_like_corpus
@@ -210,6 +256,24 @@ def build_parser() -> argparse.ArgumentParser:
     cp.add_argument("--n-binaries", type=int, default=10)
     _add_runtime_args(cp)
     cp.set_defaults(fn=cmd_check)
+
+    tp = sub.add_parser(
+        "trace", help="render Figure-2 timeline + metrics for one run")
+    tp.add_argument("workload", help="preset name or .sbin path")
+    tp.add_argument("--workers", "-j", type=int, default=8,
+                    help="number of simulated workers")
+    tp.add_argument("--scale", type=float, default=0.1,
+                    help="workload scale factor for presets")
+    tp.add_argument("--app", choices=["hpcstruct", "parse"],
+                    default="hpcstruct",
+                    help="pipeline to trace (default: hpcstruct)")
+    tp.add_argument("--width", type=int, default=96,
+                    help="timeline width in columns")
+    tp.add_argument("--json", metavar="PATH",
+                    help="also export the versioned run-report JSON")
+    tp.add_argument("--no-metrics", action="store_true",
+                    help="opt out of structured metrics collection")
+    tp.set_defaults(fn=cmd_trace)
 
     wp = sub.add_parser("sweep", help="worker-count speedup sweep")
     wp.add_argument("workload", help="preset name or .sbin path")

@@ -100,6 +100,7 @@ def _trim_overlapping_tables(parser: "ParallelParser",
             e.dst.in_edges.remove(e)
             parser.stats.n_edges_trimmed += 1
         if doomed:
+            rt.metrics.inc("finalize.edges_trimmed", len(doomed))
             removed_any.append(True)
 
     rt.parallel_for(tables, trim)
@@ -123,6 +124,8 @@ def _sweep_unreachable(parser: "ParallelParser", blocks: dict[int, Block],
             if e.dst.start not in reached:
                 stack.append(e.dst)
     dead = [s for s in blocks if s not in reached]
+    if dead:
+        rt.metrics.inc("finalize.blocks_swept", len(dead))
     for s in dead:
         b = blocks.pop(s)
         for e in b.out_edges:
@@ -166,7 +169,9 @@ def _correct_tail_calls(parser: "ParallelParser", blocks: dict[int, Block],
                           for s in parser.binary.dynsym.functions())
 
     for _round in range(8):
-        # Temporary boundaries (parallel graph search).
+        # The O_IEC fixed point of Section 5.4: each round recomputes
+        # boundaries and may flip edge verdicts.
+        rt.metrics.inc("finalize.tailcall_rounds")
         closures: dict[int, set[int]] = {}
 
         def compute(fa):
@@ -219,6 +224,8 @@ def _correct_tail_calls(parser: "ParallelParser", blocks: dict[int, Block],
                         e.flipped = True
                         flips += 1
         parser.stats.n_tailcall_flips += flips
+        if flips:
+            rt.metrics.inc("finalize.tailcall_flips", flips)
         if flips == 0:
             return
 
@@ -267,6 +274,7 @@ def _remove_dead_functions(parser: "ParallelParser",
             kept[addr] = func
         else:
             parser.stats.n_funcs_removed += 1
+            parser.rt.metrics.inc("finalize.dead_functions_removed")
     return kept
 
 

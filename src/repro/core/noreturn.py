@@ -52,7 +52,8 @@ class NoReturnState:
     def __init__(self, rt: Runtime, eager_notify: bool = True):
         self._rt = rt
         self.eager_notify = eager_notify
-        self._table: ConcurrentHashMap[int, _StatusRec] = ConcurrentHashMap(rt)
+        self._table: ConcurrentHashMap[int, _StatusRec] = \
+            ConcurrentHashMap(rt, name="noreturn")
 
     # -- setup ---------------------------------------------------------------
 
@@ -105,6 +106,8 @@ class NoReturnState:
                 rec.waiters = []
                 worklist.extend(rec.tail_waiters)
                 rec.tail_waiters = []
+        if released:
+            rt.metrics.inc("noreturn.eager_released", len(released))
         return released
 
     def mark_noreturn(self, addr: int) -> None:
@@ -193,6 +196,8 @@ class NoReturnState:
                             changed = True
         for f in functions:
             f.status = self.status_of(f.addr)
+        if released:
+            self._rt.metrics.inc("noreturn.wave_released", len(released))
         return released
 
     def resolve_cycles(self, functions: list[Function]) -> None:

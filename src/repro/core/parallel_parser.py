@@ -95,13 +95,13 @@ class ParallelParser:
         self.decoder = binary.decoder
         self.image = binary.image
         self.blocks_by_start: ConcurrentHashMap[int, Block] = \
-            ConcurrentHashMap(rt)
+            ConcurrentHashMap(rt, name="blocks")
         self.block_ends: ConcurrentHashMap[int, Block] = \
-            ConcurrentHashMap(rt)
+            ConcurrentHashMap(rt, name="block_ends")
         self.functions: ConcurrentHashMap[int, Function] = \
-            ConcurrentHashMap(rt)
+            ConcurrentHashMap(rt, name="functions")
         self.jump_tables: ConcurrentHashMap[int, JumpTableInfo] = \
-            ConcurrentHashMap(rt)
+            ConcurrentHashMap(rt, name="jump_tables")
         self.noreturn = NoReturnState(
             rt, eager_notify=(self.opts.eager_noreturn_notify
                               and self.opts.task_parallel))
@@ -280,6 +280,7 @@ class ParallelParser:
                 if other is blk:
                     continue
                 rt.charge(rt.cost.block_split)
+                rt.metrics.inc("parser.block_splits")
                 self.stats.n_splits += 1
                 if other.start < blk.start:
                     # Split the incumbent: it keeps [xo, xb); we take over
@@ -305,6 +306,7 @@ class ParallelParser:
     def _link(self, src: Block, dst: Block, etype: EdgeType) -> Edge:
         rt = self.rt
         rt.charge(rt.cost.edge_create)
+        rt.metrics.inc("parser.edges_created")
         edge = Edge(src, dst, etype)
         src.out_edges.append(edge)
         dst.in_edges.append(edge)
@@ -316,6 +318,7 @@ class ParallelParser:
         with self.blocks_by_start.accessor(start) as acc:
             if acc.created:
                 rt.charge(rt.cost.block_create)
+                rt.metrics.inc("parser.blocks_created")
                 acc.value = Block(start)
                 return acc.value, True
             return acc.value, False
@@ -328,6 +331,7 @@ class ParallelParser:
         with self.functions.accessor(addr) as acc:
             if acc.created:
                 rt.charge(rt.cost.func_create)
+                rt.metrics.inc("parser.functions_created")
                 func = Function(addr, name, entry,
                                 from_symtab=(via == "symtab"),
                                 discovered_via=via)
@@ -443,6 +447,7 @@ class ParallelParser:
         # NORETURN: no fall-through edge, ever.
 
     def _indirect_jump(self, ctx: _TaskCtx, block: Block) -> None:
+        self.rt.metrics.inc("parser.jt_analyses")
         info = analyze_jump_table(self.rt, self.image, block,
                                   self.opts.jt_options)
         with self.jump_tables.accessor(block.start) as acc:
@@ -460,9 +465,11 @@ class ParallelParser:
         gained more control-flow paths; True if new targets appeared."""
         if not ctx.jt_pending:
             return False
+        self.rt.metrics.inc("parser.jt_retry_rounds")
         progress = False
         still_pending: list[Block] = []
         for block in ctx.jt_pending:
+            self.rt.metrics.inc("parser.jt_analyses")
             info = analyze_jump_table(self.rt, self.image, block,
                                       self.opts.jt_options)
             seen = ctx.jt_targets_seen.setdefault(block.start, set())
@@ -527,6 +534,7 @@ class ParallelParser:
         rt = self.rt
         for _ in range(self.opts.max_waves):
             self.stats.n_waves += 1
+            rt.metrics.inc("parser.noreturn_waves")
             funcs = [f for _, f in self.functions.sorted_items()]
             memo: dict[int, tuple[bool, frozenset[int]]] = {}
             base_summary = closure_summary_fn(

@@ -23,6 +23,7 @@ implementation serves every backend.
 
 from repro.runtime.api import Runtime, TaskGroup
 from repro.runtime.cost import CostModel
+from repro.runtime.metrics import NULL_METRICS, Histogram, MetricsRegistry
 from repro.runtime.serial import SerialRuntime
 from repro.runtime.vtime import VirtualTimeRuntime
 from repro.runtime.threads import ThreadRuntime
@@ -32,6 +33,9 @@ __all__ = [
     "Runtime",
     "TaskGroup",
     "CostModel",
+    "MetricsRegistry",
+    "Histogram",
+    "NULL_METRICS",
     "SerialRuntime",
     "VirtualTimeRuntime",
     "ThreadRuntime",

@@ -25,6 +25,8 @@ from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any
 
+from repro.runtime.metrics import NULL_METRICS, MetricsRegistry
+
 
 class RtLock(abc.ABC):
     """A mutual-exclusion lock usable as a context manager."""
@@ -126,6 +128,12 @@ class Runtime(abc.ABC):
     num_workers: int
     cost: Any  # CostModel
 
+    #: Structured metrics registry (see :mod:`repro.runtime.metrics`).
+    #: Backends replace this with a live registry unless constructed with
+    #: ``enable_metrics=False``; recording is pure observation and never
+    #: perturbs virtual time.
+    metrics: MetricsRegistry = NULL_METRICS
+
     # -- accounting -----------------------------------------------------------
 
     @abc.abstractmethod
@@ -219,13 +227,16 @@ class Runtime(abc.ABC):
 
     @contextmanager
     def phase(self, name: str):
-        """Record a named phase span on the trace (no-op when untraced)."""
+        """Record a named phase span on the trace and a ``phase.<name>``
+        duration metric (no-ops when untraced / metrics disabled)."""
         start = self.now()
         try:
             yield
         finally:
+            end = self.now()
             if self.trace is not None:
-                self.trace.phases.append(PhaseSpan(name, start, self.now()))
+                self.trace.phases.append(PhaseSpan(name, start, end))
+            self.metrics.observe(f"phase.{name}", end - start)
 
     # -- results ---------------------------------------------------------------
 

@@ -78,9 +78,9 @@ class ConcurrentHashMap(Generic[K, V]):
     construction — Section 7.2).
     """
 
-    __slots__ = ("_rt", "_shards", "_locks", "_mask")
+    __slots__ = ("_rt", "_shards", "_locks", "_mask", "_m", "_mname")
 
-    def __init__(self, rt: Runtime, n_shards: int = 64):
+    def __init__(self, rt: Runtime, n_shards: int = 64, name: str = "map"):
         n = 1
         while n < n_shards:
             n <<= 1
@@ -88,6 +88,9 @@ class ConcurrentHashMap(Generic[K, V]):
         self._shards: list[dict[K, _Entry]] = [dict() for _ in range(n)]
         self._locks = [rt.make_internal_lock() for _ in range(n)]
         self._mask = n - 1
+        #: metric label: this map's ops/contention appear as ``map.<name>.*``.
+        self._mname = name
+        self._m = rt.metrics
 
     def _shard_of(self, key: K) -> int:
         return hash(key) & self._mask
@@ -104,6 +107,7 @@ class ConcurrentHashMap(Generic[K, V]):
         rt = self._rt
         rt.charge(rt.cost.map_op)
         rt.checkpoint()
+        self._m.inc(f"map.{self._mname}.ops")
         idx = self._shard_of(key)
         with self._locks[idx]:
             shard = self._shards[idx]
@@ -115,6 +119,7 @@ class ConcurrentHashMap(Generic[K, V]):
             entry = _Entry(rt.make_lock())
             entry.value = init
             shard[key] = entry
+            self._m.inc(f"map.{self._mname}.created")
             return entry, True
 
     # -- TBB-style operations ------------------------------------------------
@@ -141,7 +146,21 @@ class ConcurrentHashMap(Generic[K, V]):
         if entry is None:
             yield None
             return
-        entry.lock.acquire()
+        m = self._m
+        if m.enabled:
+            m.inc(f"map.{self._mname}.acquires")
+            t0 = m.clock()
+            entry.lock.acquire()
+            parked = m.clock() - t0
+            if parked > 0:
+                # Entry-lock contention (the paper's Section 6.1 story).
+                # Exact on vtime (uncontended acquires are free in virtual
+                # time); on the threads backend the delta includes acquire
+                # overhead, so `lock.contended` is the authoritative count.
+                m.inc(f"map.{self._mname}.contended")
+                m.observe(f"map.{self._mname}.park", parked)
+        else:
+            entry.lock.acquire()
         try:
             yield Accessor(entry, created, key)
         finally:
@@ -173,6 +192,7 @@ class ConcurrentHashMap(Generic[K, V]):
         rt = self._rt
         rt.charge(rt.cost.map_op)
         rt.checkpoint()
+        self._m.inc(f"map.{self._mname}.ops")
         idx = self._shard_of(key)
         with self._locks[idx]:
             return self._shards[idx].pop(key, None) is not None

@@ -1,0 +1,181 @@
+"""Structured runtime metrics: counters, histograms, timers.
+
+The paper's evaluation depends on knowing *where parallel time goes*:
+Figure 2's phase traces, Section 6.1's hash-map entry-lock contention
+discussion, Table 2/3's per-phase speedups.  This module is the
+collection substrate behind that visibility — every backend owns a
+:class:`MetricsRegistry` (``rt.metrics``) that library code increments
+as it works, and ``repro trace`` / the benchmark harness export it as
+versioned JSON (schema documented in ``docs/OBSERVABILITY.md``).
+
+Design constraints:
+
+- **Pure observation.**  Recording a metric never charges simulated
+  cycles, never takes a runtime lock, and never passes a virtual-time
+  order point.  Enabling metrics therefore cannot change scheduling,
+  the final CFG, or the makespan — a vtime run with metrics on is
+  bit-identical to one with metrics off (tested).
+- **Backend-relative time.**  Histogram values produced by timers and
+  park-time measurements come from the owning backend's clock: virtual
+  cycles on ``vtime``/``serial``, wall nanoseconds on ``threads``.
+  The registry's ``time_unit`` names the unit in exports.
+- **Cheap opt-out.**  Construct a runtime with ``enable_metrics=False``
+  and ``rt.metrics`` is the shared :data:`NULL_METRICS` no-op, so
+  instrumented call sites cost one attribute read and a predictable
+  branch.  Sites that would do extra work to *compute* a metric value
+  (e.g. reading a clock twice) guard on ``rt.metrics.enabled``.
+
+The catalog of every metric name emitted by the library lives in
+``docs/OBSERVABILITY.md``; ``tests/test_docs.py`` checks the catalog is
+complete against a real run.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections.abc import Callable
+from contextlib import contextmanager
+
+#: Schema identifier embedded in :meth:`MetricsRegistry.snapshot`.
+METRICS_SCHEMA = "repro.metrics/1"
+
+
+def bucket_bound(value: int) -> int:
+    """The histogram bucket upper bound for ``value``.
+
+    Buckets are powers of two: a value lands in the smallest bucket
+    ``2**k >= value``; values ``<= 0`` land in bucket ``0``.  Power-of-two
+    buckets keep the export compact and merge-friendly while preserving
+    the order-of-magnitude shape that contention analysis needs.
+    """
+    if value <= 0:
+        return 0
+    return 1 << (value - 1).bit_length()
+
+
+class Histogram:
+    """Streaming histogram: count/sum/min/max plus power-of-two buckets."""
+
+    __slots__ = ("count", "total", "min", "max", "buckets")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: int | None = None
+        self.max: int | None = None
+        self.buckets: dict[int, int] = {}
+
+    def observe(self, value: int) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        b = bucket_bound(value)
+        self.buckets[b] = self.buckets.get(b, 0) + 1
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> dict:
+        """JSON-ready dict (bucket keys stringified, sorted numerically)."""
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": {str(k): self.buckets[k]
+                        for k in sorted(self.buckets)},
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms for one runtime instance.
+
+    Updates are guarded by a plain ``threading.Lock`` (never a runtime
+    lock): on the virtual-time backend execution is already serialized
+    so the lock is uncontended; on the thread backend it makes
+    concurrent updates safe.
+    """
+
+    enabled = True
+
+    def __init__(self, time_unit: str = "cycles",
+                 clock: Callable[[], int] | None = None):
+        self.time_unit = time_unit
+        self._clock = clock if clock is not None else (lambda: 0)
+        self._lock = threading.Lock()
+        self._counters: dict[str, int] = {}
+        self._hists: dict[str, Histogram] = {}
+
+    # -- recording -----------------------------------------------------------
+
+    def inc(self, name: str, n: int = 1) -> None:
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + n
+
+    def observe(self, name: str, value: int) -> None:
+        with self._lock:
+            h = self._hists.get(name)
+            if h is None:
+                h = self._hists[name] = Histogram()
+            h.observe(value)
+
+    def clock(self) -> int:
+        """The owning backend's clock, in ``time_unit`` units."""
+        return self._clock()
+
+    @contextmanager
+    def timer(self, name: str):
+        """Observe the elapsed backend time of a ``with`` body."""
+        t0 = self._clock()
+        try:
+            yield
+        finally:
+            self.observe(name, self._clock() - t0)
+
+    # -- reading -------------------------------------------------------------
+
+    def counter(self, name: str) -> int:
+        return self._counters.get(name, 0)
+
+    def histogram(self, name: str) -> Histogram | None:
+        return self._hists.get(name)
+
+    def names(self) -> list[str]:
+        """All metric names recorded so far, sorted."""
+        return sorted(set(self._counters) | set(self._hists))
+
+    def snapshot(self) -> dict:
+        """Versioned, JSON-ready view of everything recorded."""
+        with self._lock:
+            return {
+                "schema": METRICS_SCHEMA,
+                "time_unit": self.time_unit,
+                "counters": {k: self._counters[k]
+                             for k in sorted(self._counters)},
+                "histograms": {k: self._hists[k].snapshot()
+                               for k in sorted(self._hists)},
+            }
+
+
+class _NullMetrics(MetricsRegistry):
+    """Shared do-nothing registry used when metrics are disabled."""
+
+    enabled = False
+
+    def inc(self, name: str, n: int = 1) -> None:
+        pass
+
+    def observe(self, name: str, value: int) -> None:
+        pass
+
+    @contextmanager
+    def timer(self, name: str):
+        yield
+
+
+#: The disabled-metrics singleton (also the Runtime class default).
+NULL_METRICS = _NullMetrics()

@@ -16,6 +16,7 @@ from typing import Any
 from repro.errors import RuntimeConfigError
 from repro.runtime.api import Runtime, RtLock, TaskGroup
 from repro.runtime.cost import DEFAULT_COSTS, CostModel
+from repro.runtime.metrics import NULL_METRICS, MetricsRegistry
 
 
 class _NullLock(RtLock):
@@ -47,9 +48,11 @@ class _SerialGroup(TaskGroup):
         self._pending = 0
 
     def spawn(self, fn: Callable[..., Any], *args: Any) -> None:
-        self._rt.charge(self._rt.cost.spawn)
+        rt = self._rt
+        rt.charge(rt.cost.spawn)
+        rt.metrics.inc("rt.tasks_spawned")
         self._pending += 1
-        self._rt._queue.append((self, fn, args))
+        rt._queue.append((self, fn, args, rt._clock))
 
     def wait(self) -> None:
         rt = self._rt
@@ -58,7 +61,8 @@ class _SerialGroup(TaskGroup):
                 raise RuntimeConfigError(
                     "serial runtime: group wait with no runnable tasks"
                 )
-            group, fn, args = rt._queue.popleft()
+            group, fn, args, spawned_at = rt._queue.popleft()
+            rt._note_pop(spawned_at)
             rt.charge(rt.cost.task_pop)
             try:
                 fn(*args)
@@ -69,12 +73,22 @@ class _SerialGroup(TaskGroup):
 class SerialRuntime(Runtime):
     """One worker, one clock; see module docstring."""
 
-    def __init__(self, cost_model: CostModel | None = None) -> None:
+    def __init__(self, cost_model: CostModel | None = None,
+                 enable_metrics: bool = True) -> None:
         self.num_workers = 1
         self.cost = cost_model or DEFAULT_COSTS
         self._clock = 0
-        self._queue: deque[tuple[_SerialGroup, Callable[..., Any], tuple]] = deque()
+        self.metrics = (MetricsRegistry("cycles", clock=lambda: self._clock)
+                        if enable_metrics else NULL_METRICS)
+        self._queue: deque[
+            tuple[_SerialGroup, Callable[..., Any], tuple, int]] = deque()
         self._ran = False
+
+    def _note_pop(self, spawned_at: int) -> None:
+        m = self.metrics
+        if m.enabled:
+            m.inc("rt.tasks_executed")
+            m.observe("rt.task_queue_delay", self._clock - spawned_at)
 
     def charge(self, units: int) -> None:
         self._clock += units
@@ -101,7 +115,8 @@ class SerialRuntime(Runtime):
         result = fn(*args)
         # Drain detached tasks spawned outside any awaited group.
         while self._queue:
-            group, f, a = self._queue.popleft()
+            group, f, a, spawned_at = self._queue.popleft()
+            self._note_pop(spawned_at)
             self.charge(self.cost.task_pop)
             try:
                 f(*a)

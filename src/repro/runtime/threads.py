@@ -25,16 +25,29 @@ from typing import Any
 from repro.errors import RuntimeConfigError
 from repro.runtime.api import Runtime, RtLock, TaskGroup
 from repro.runtime.cost import DEFAULT_COSTS, CostModel
+from repro.runtime.metrics import NULL_METRICS, MetricsRegistry
 
 
 class _RealLock(RtLock):
-    __slots__ = ("_lock",)
+    __slots__ = ("_lock", "_m")
 
-    def __init__(self) -> None:
+    def __init__(self, metrics: MetricsRegistry = NULL_METRICS) -> None:
         self._lock = threading.Lock()
+        self._m = metrics
 
     def acquire(self) -> None:
+        m = self._m
+        if not m.enabled:
+            self._lock.acquire()
+            return
+        m.inc("lock.acquires")
+        if self._lock.acquire(blocking=False):
+            return
+        # Contended: time the park in wall nanoseconds.
+        m.inc("lock.contended")
+        t0 = m.clock()
         self._lock.acquire()
+        m.observe("lock.park", m.clock() - t0)
 
     def release(self) -> None:
         self._lock.release()
@@ -50,15 +63,18 @@ class _ThreadGroup(TaskGroup):
     def spawn(self, fn: Callable[..., Any], *args: Any) -> None:
         rt = self._rt
         rt.charge(rt.cost.spawn)
+        m = rt.metrics
+        m.inc("rt.tasks_spawned")
         with rt._mon:
             if rt._error is not None:
                 raise RuntimeConfigError("runtime aborted") from rt._error
             self._pending += 1
-            rt._queue.append((self, fn, args))
+            rt._queue.append((self, fn, args, m.clock() if m.enabled else 0))
             rt._mon.notify_all()
 
     def wait(self) -> None:
         rt = self._rt
+        m = rt.metrics
         while True:
             with rt._mon:
                 if rt._error is not None:
@@ -68,7 +84,11 @@ class _ThreadGroup(TaskGroup):
                 if rt._queue:
                     item = rt._queue.popleft()
                 else:
-                    rt._mon.wait()
+                    if m.enabled:
+                        with m.timer("rt.group_wait"):
+                            rt._mon.wait()
+                    else:
+                        rt._mon.wait()
                     continue
             rt._execute(item)
 
@@ -76,14 +96,18 @@ class _ThreadGroup(TaskGroup):
 class ThreadRuntime(Runtime):
     """A help-first thread pool behind the Runtime interface."""
 
-    def __init__(self, n_workers: int, cost_model: CostModel | None = None):
+    def __init__(self, n_workers: int, cost_model: CostModel | None = None,
+                 enable_metrics: bool = True):
         if n_workers < 1:
             raise RuntimeConfigError("need at least one worker")
         self.num_workers = n_workers
         self.cost = cost_model or DEFAULT_COSTS
         self.trace = None
+        self.metrics = (MetricsRegistry("ns", clock=time.perf_counter_ns)
+                        if enable_metrics else NULL_METRICS)
         self._mon = threading.Condition()
-        self._queue: deque[tuple[_ThreadGroup, Callable[..., Any], tuple]] = deque()
+        self._queue: deque[
+            tuple[_ThreadGroup, Callable[..., Any], tuple, int]] = deque()
         self._stop = False
         self._error: BaseException | None = None
         self._busy = [0] * n_workers
@@ -109,9 +133,12 @@ class ThreadRuntime(Runtime):
             ) from None
 
     def make_lock(self) -> RtLock:
-        return _RealLock()
+        return _RealLock(self.metrics)
 
     def make_internal_lock(self) -> RtLock:
+        # Internal shard locks are deliberately uncounted: the vtime
+        # backend models them as free no-ops, so counting them here would
+        # make `lock.*` metrics incomparable across backends.
         return _RealLock()
 
     def task_group(self) -> TaskGroup:
@@ -123,8 +150,14 @@ class ThreadRuntime(Runtime):
 
     # -- execution ----------------------------------------------------------------
 
-    def _execute(self, item: tuple[_ThreadGroup, Callable[..., Any], tuple]) -> None:
-        group, fn, args = item
+    def _execute(self,
+                 item: tuple[_ThreadGroup, Callable[..., Any], tuple, int]
+                 ) -> None:
+        group, fn, args, spawned_at = item
+        m = self.metrics
+        if m.enabled:
+            m.inc("rt.tasks_executed")
+            m.observe("rt.task_queue_delay", m.clock() - spawned_at)
         self.charge(self.cost.task_pop)
         try:
             fn(*args)
@@ -141,11 +174,17 @@ class ThreadRuntime(Runtime):
 
     def _worker_main(self, wid: int) -> None:
         self._local.wid = wid
+        m = self.metrics
         while True:
             with self._mon:
+                idle_from = None
                 while not self._queue and not self._stop \
                         and self._error is None:
+                    if m.enabled and idle_from is None:
+                        idle_from = m.clock()
                     self._mon.wait()
+                if idle_from is not None:
+                    m.observe("rt.idle", m.clock() - idle_from)
                 if (self._stop and not self._queue) or self._error is not None:
                     return
                 item = self._queue.popleft()

@@ -1,16 +1,29 @@
-"""ASCII rendering of execution traces (Figure 2 style).
+"""Trace/metrics rendering and the versioned run-report JSON format.
 
-Renders a :class:`~repro.runtime.api.Trace` as a worker-utilization
-timeline: one row per bucketed group of workers, one column per time
-bucket, with density glyphs showing how busy the workers were.  Phase
-boundaries are marked on a header rail, so the output reads like the
-paper's Figure 2: full columns during parallel phases, a single busy
-worker during serial ones.
+Two halves:
+
+- ASCII rendering (Figure 2 style): :func:`render_trace` draws a
+  :class:`~repro.runtime.api.Trace` as a worker-utilization timeline —
+  one row per bucketed group of workers, one column per time bucket,
+  density glyphs for busyness, phase boundaries on a header rail.
+  :func:`render_metrics` prints a metrics snapshot as an aligned table.
+- JSON export: :func:`run_report` assembles a complete machine-readable
+  record of one run — backend, makespan, the trace, and the metrics
+  snapshot — under the versioned ``repro.run-report/1`` schema that
+  ``docs/OBSERVABILITY.md`` documents.  :func:`validate_report` is the
+  executable form of that schema (no external dependency);
+  :func:`trace_from_json` round-trips traces back into objects.
 """
 
 from __future__ import annotations
 
-from repro.runtime.api import Trace
+from typing import Any
+
+from repro.runtime.api import PhaseSpan, Trace, TraceInterval
+from repro.runtime.metrics import METRICS_SCHEMA
+
+#: Version identifier of the exported run-report JSON document.
+REPORT_SCHEMA = "repro.run-report/1"
 
 _GLYPHS = " .:-=+*#%@"
 
@@ -64,3 +77,211 @@ def render_trace(trace: Trace, width: int = 100,
                        for i, p in enumerate(trace.phases))
     out.append(f"phases: {legend}")
     return "\n".join(out)
+
+
+def render_phase_table(trace: Trace) -> str:
+    """Per-phase duration/utilization table (the numbers behind Figure 2)."""
+    if not trace.phases:
+        return "(no phases)"
+    lines = [f"{'phase':<24} {'start':>12} {'cycles':>12} {'util':>6}"]
+    for p in trace.phases:
+        lines.append(f"{p.name:<24} {p.start:>12,} {p.duration:>12,} "
+                     f"{trace.utilization(p):>5.0%}")
+    return "\n".join(lines)
+
+
+def render_metrics(snapshot: dict) -> str:
+    """Aligned text table of a :meth:`MetricsRegistry.snapshot`."""
+    counters = snapshot.get("counters", {})
+    hists = snapshot.get("histograms", {})
+    unit = snapshot.get("time_unit", "cycles")
+    lines: list[str] = []
+    if counters:
+        lines.append(f"{'counter':<34} {'value':>12}")
+        for name in sorted(counters):
+            lines.append(f"{name:<34} {counters[name]:>12,}")
+    if hists:
+        if lines:
+            lines.append("")
+        lines.append(f"{'histogram (' + unit + ')':<34} {'count':>8} "
+                     f"{'sum':>12} {'min':>8} {'max':>8} {'mean':>10}")
+        for name in sorted(hists):
+            h = hists[name]
+            mean = h["sum"] / h["count"] if h["count"] else 0.0
+            lines.append(
+                f"{name:<34} {h['count']:>8,} {h['sum']:>12,} "
+                f"{(h['min'] if h['min'] is not None else 0):>8,} "
+                f"{(h['max'] if h['max'] is not None else 0):>8,} "
+                f"{mean:>10.1f}")
+    return "\n".join(lines) if lines else "(no metrics)"
+
+
+# ------------------------------------------------------------------ JSON
+
+def trace_to_json(trace: Trace) -> dict:
+    """JSON-ready dict for a trace (schema in docs/OBSERVABILITY.md)."""
+    return {
+        "n_workers": trace.n_workers,
+        "intervals": [
+            {"worker": iv.worker, "start": iv.start, "end": iv.end,
+             "tag": iv.tag}
+            for iv in trace.intervals
+        ],
+        "phases": [
+            {"name": p.name, "start": p.start, "end": p.end}
+            for p in trace.phases
+        ],
+    }
+
+
+def trace_from_json(obj: dict) -> Trace:
+    """Rebuild a :class:`Trace` from its JSON form (export round-trip)."""
+    trace = Trace(obj["n_workers"])
+    trace.intervals = [
+        TraceInterval(iv["worker"], iv["start"], iv["end"], iv["tag"])
+        for iv in obj["intervals"]
+    ]
+    trace.phases = [
+        PhaseSpan(p["name"], p["start"], p["end"]) for p in obj["phases"]
+    ]
+    return trace
+
+
+_BACKEND_NAMES = {
+    "VirtualTimeRuntime": "vtime",
+    "ThreadRuntime": "threads",
+    "SerialRuntime": "serial",
+}
+
+
+def run_report(rt: Any, workload: str | None = None) -> dict:
+    """Assemble the versioned run report for a finished runtime.
+
+    Must be called after ``rt.run`` returned (``makespan`` is read).
+    ``time_unit`` describes the makespan and trace timestamps; the
+    metrics snapshot carries its own unit (identical except on the
+    threads backend, where the makespan is wall seconds but metric
+    timings are wall nanoseconds).
+    """
+    backend = _BACKEND_NAMES.get(type(rt).__name__, type(rt).__name__)
+    return {
+        "schema": REPORT_SCHEMA,
+        "backend": backend,
+        "workload": workload,
+        "n_workers": rt.num_workers,
+        "time_unit": "seconds" if backend == "threads" else "cycles",
+        "makespan": rt.makespan,
+        "metrics": rt.metrics.snapshot() if rt.metrics.enabled else None,
+        "trace": trace_to_json(rt.trace) if rt.trace is not None else None,
+    }
+
+
+def validate_report(obj: Any) -> list[str]:
+    """Check a run report against the documented schema.
+
+    Returns a list of human-readable problems; an empty list means the
+    document is valid ``repro.run-report/1``.  This is the executable
+    counterpart of the schema tables in ``docs/OBSERVABILITY.md`` — keep
+    the two in sync.
+    """
+    errs: list[str] = []
+
+    def expect(cond: bool, msg: str) -> bool:
+        if not cond:
+            errs.append(msg)
+        return cond
+
+    if not expect(isinstance(obj, dict), "report is not an object"):
+        return errs
+    expect(obj.get("schema") == REPORT_SCHEMA,
+           f"schema is {obj.get('schema')!r}, want {REPORT_SCHEMA!r}")
+    expect(obj.get("backend") in ("vtime", "threads", "serial"),
+           f"unknown backend {obj.get('backend')!r}")
+    expect(isinstance(obj.get("n_workers"), int)
+           and obj.get("n_workers", 0) >= 1, "n_workers must be an int >= 1")
+    expect(isinstance(obj.get("time_unit"), str), "time_unit must be a string")
+    expect(isinstance(obj.get("makespan"), (int, float))
+           and not isinstance(obj.get("makespan"), bool)
+           and obj.get("makespan", -1) >= 0,
+           "makespan must be a non-negative number")
+    if "workload" in obj:
+        expect(obj["workload"] is None or isinstance(obj["workload"], str),
+               "workload must be a string or null")
+
+    metrics = obj.get("metrics")
+    if metrics is not None:
+        if expect(isinstance(metrics, dict), "metrics must be an object"):
+            expect(metrics.get("schema") == METRICS_SCHEMA,
+                   f"metrics schema is {metrics.get('schema')!r}, "
+                   f"want {METRICS_SCHEMA!r}")
+            expect(isinstance(metrics.get("time_unit"), str),
+                   "metrics.time_unit must be a string")
+            counters = metrics.get("counters")
+            if expect(isinstance(counters, dict),
+                      "metrics.counters must be an object"):
+                for k, v in counters.items():
+                    expect(isinstance(k, str) and isinstance(v, int),
+                           f"counter {k!r} must map a string to an int")
+            hists = metrics.get("histograms")
+            if expect(isinstance(hists, dict),
+                      "metrics.histograms must be an object"):
+                for k, h in hists.items():
+                    if not expect(isinstance(h, dict),
+                                  f"histogram {k!r} must be an object"):
+                        continue
+                    expect(isinstance(h.get("count"), int)
+                           and h.get("count", -1) >= 0,
+                           f"histogram {k!r}: count must be an int >= 0")
+                    expect(isinstance(h.get("sum"), int),
+                           f"histogram {k!r}: sum must be an int")
+                    for bound in ("min", "max"):
+                        expect(h.get(bound) is None
+                               or isinstance(h.get(bound), int),
+                               f"histogram {k!r}: {bound} must be int|null")
+                    buckets = h.get("buckets")
+                    if expect(isinstance(buckets, dict),
+                              f"histogram {k!r}: buckets must be an object"):
+                        expect(sum(buckets.values()) == h.get("count"),
+                               f"histogram {k!r}: bucket counts must sum "
+                               f"to count")
+                        for bk in buckets:
+                            expect(isinstance(bk, str) and bk.isdigit(),
+                                   f"histogram {k!r}: bucket key {bk!r} "
+                                   f"must be a decimal string")
+
+    trace = obj.get("trace")
+    if trace is not None:
+        if expect(isinstance(trace, dict), "trace must be an object"):
+            n = trace.get("n_workers")
+            expect(isinstance(n, int) and n >= 1,
+                   "trace.n_workers must be an int >= 1")
+            ivs = trace.get("intervals")
+            if expect(isinstance(ivs, list), "trace.intervals must be a list"):
+                for i, iv in enumerate(ivs):
+                    if not expect(isinstance(iv, dict),
+                                  f"interval[{i}] must be an object"):
+                        continue
+                    expect(isinstance(iv.get("worker"), int)
+                           and isinstance(n, int)
+                           and 0 <= iv.get("worker", -1) < n,
+                           f"interval[{i}]: worker out of range")
+                    expect(isinstance(iv.get("start"), int)
+                           and isinstance(iv.get("end"), int)
+                           and iv.get("start", 1) <= iv.get("end", 0),
+                           f"interval[{i}]: need int start <= end")
+                    expect(isinstance(iv.get("tag"), str),
+                           f"interval[{i}]: tag must be a string")
+            phases = trace.get("phases")
+            if expect(isinstance(phases, list),
+                      "trace.phases must be a list"):
+                for i, p in enumerate(phases):
+                    if not expect(isinstance(p, dict),
+                                  f"phase[{i}] must be an object"):
+                        continue
+                    expect(isinstance(p.get("name"), str),
+                           f"phase[{i}]: name must be a string")
+                    expect(isinstance(p.get("start"), int)
+                           and isinstance(p.get("end"), int)
+                           and p.get("start", 1) <= p.get("end", 0),
+                           f"phase[{i}]: need int start <= end")
+    return errs

@@ -46,6 +46,7 @@ from typing import Any
 from repro.errors import RuntimeConfigError, SimDeadlockError
 from repro.runtime.api import Runtime, RtLock, TaskGroup, Trace, TraceInterval
 from repro.runtime.cost import DEFAULT_COSTS, CostModel
+from repro.runtime.metrics import NULL_METRICS, MetricsRegistry
 
 
 class _State(enum.Enum):
@@ -108,17 +109,21 @@ class SimLock(RtLock):
         w = rt._me()
         with rt._mon:
             rt._event(w)
+            rt.metrics.inc("lock.acquires")
             if self._owner is None:
                 self._owner = w.wid
                 return
             if self._owner == w.wid:
                 raise RuntimeConfigError("recursive SimLock acquisition")
+            rt.metrics.inc("lock.contended")
+            parked_at = w.clock
             w.state = _State.BLOCK_LOCK
             self._waiters.append(w)
             rt._reschedule()
             rt._wait_for_token(w)
             # Resumed by release(): we are the owner now.
             assert self._owner == w.wid
+            rt.metrics.observe("lock.park", w.clock - parked_at)
 
     def release(self) -> None:
         rt = self._rt
@@ -153,6 +158,7 @@ class _VtGroup(TaskGroup):
             rt._event(w)
             w.clock += rt.cost.spawn
             w.busy += rt.cost.spawn
+            rt.metrics.inc("rt.tasks_spawned")
             self._pending += 1
             rt._queue.append(_Task(fn, args, self, w.clock,
                                    getattr(fn, "__name__", "task")))
@@ -170,10 +176,13 @@ class _VtGroup(TaskGroup):
                 if rt._queue:
                     task = rt._pop_task(w)
                 else:
+                    parked_at = w.clock
                     w.state = _State.BLOCK_GROUP
                     self._waiters.append(w)
                     rt._reschedule()
                     rt._wait_for_token(w)
+                    rt.metrics.observe("rt.group_wait",
+                                       w.clock - parked_at)
                     continue
             rt._run_task(w, task)
 
@@ -196,12 +205,15 @@ class VirtualTimeRuntime(Runtime):
         n_workers: int,
         cost_model: CostModel | None = None,
         enable_trace: bool = False,
+        enable_metrics: bool = True,
     ):
         if n_workers < 1:
             raise RuntimeConfigError("need at least one worker")
         self.num_workers = n_workers
         self.cost = cost_model or DEFAULT_COSTS
         self.trace = Trace(n_workers) if enable_trace else None
+        self.metrics = (MetricsRegistry("cycles", clock=self.now)
+                        if enable_metrics else NULL_METRICS)
         self._mon = threading.Lock()
         self._workers = [_Worker(i, self._mon) for i in range(n_workers)]
         self._queue: deque[_Task] = deque()
@@ -389,11 +401,19 @@ class VirtualTimeRuntime(Runtime):
         """Move idle workers to the event set after a task push."""
         for w in self._workers:
             if w.state is _State.IDLE:
-                w.clock = max(w.clock, push_clock)
+                if push_clock > w.clock:
+                    # The clock jump is exactly the worker's starved time.
+                    self.metrics.observe("rt.idle", push_clock - w.clock)
+                    w.clock = push_clock
                 w.state = _State.EVENT
 
     def _pop_task(self, w: _Worker) -> _Task:
         task = self._queue.popleft()
+        m = self.metrics
+        if m.enabled:
+            m.inc("rt.tasks_executed")
+            m.observe("rt.task_queue_delay",
+                      max(w.clock, task.spawn_clock) - task.spawn_clock)
         w.clock = max(w.clock, task.spawn_clock) + self.cost.task_pop
         w.busy += self.cost.task_pop
         return task

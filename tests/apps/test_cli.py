@@ -69,6 +69,31 @@ class TestCli:
         assert sweep[0]["speedup"] == 1.0
         assert sweep[1]["speedup"] > 1.0
 
+    def test_trace(self, capsys, tmp_path):
+        # trace prints a human report (not JSON), so bypass run_cli.
+        report_path = tmp_path / "report.json"
+        rc = main(["trace", "tiny", "-j", "4", "--app", "parse",
+                   "--width", "40", "--json", str(report_path)])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "phases:" in out            # timeline legend
+        assert "counter" in out            # metrics table header
+        assert "lock.acquires" in out
+
+        from repro.runtime.tracefmt import validate_report
+        report = json.loads(report_path.read_text())
+        assert validate_report(report) == []
+        assert report["backend"] == "vtime"
+        assert report["n_workers"] == 4
+        assert report["trace"]["intervals"]
+
+    def test_trace_no_metrics(self, capsys):
+        rc = main(["trace", "tiny", "-j", "2", "--app", "parse",
+                   "--no-metrics"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "lock.acquires" not in out
+
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["bogus"])

@@ -1,9 +1,19 @@
-"""Tests for the ASCII trace renderer."""
+"""Tests for the ASCII trace renderer and the run-report JSON export."""
 
-from repro.runtime import VirtualTimeRuntime
+import json
+
+from repro.runtime import SerialRuntime, VirtualTimeRuntime
 from repro.runtime.api import PhaseSpan, Trace, TraceInterval
 from repro.runtime.cost import CostModel
-from repro.runtime.tracefmt import render_trace
+from repro.runtime.tracefmt import (
+    render_metrics,
+    render_phase_table,
+    render_trace,
+    run_report,
+    trace_from_json,
+    trace_to_json,
+    validate_report,
+)
 
 FREE = CostModel(spawn=0, task_pop=0, lock_handoff=0, map_op=0)
 
@@ -58,3 +68,131 @@ class TestRenderTrace:
         assert len(worker_rows) == 8
         assert worker_rows[0].startswith("w00-07")
         assert worker_rows[-1].startswith("w56-63")
+
+    def test_phases_without_intervals(self):
+        # A traced run that spawned no tasks still renders its phase rail.
+        tr = Trace(4)
+        tr.phases.append(PhaseSpan("only", 0, 80))
+        out = render_trace(tr, width=16)
+        lines = out.splitlines()
+        assert lines[0].startswith("phases")
+        assert "1=only" in lines[-1]
+        # All worker cells are idle glyphs.
+        for row in lines[1:-1]:
+            assert set(row.split(" ", 1)[1]) == {" "}
+
+    def test_more_worker_rows_than_workers(self):
+        # worker_rows caps at n_workers rather than emitting empty rows.
+        tr = Trace(2)
+        tr.intervals.append(TraceInterval(0, 0, 10, "t"))
+        tr.intervals.append(TraceInterval(1, 0, 10, "t"))
+        out = render_trace(tr, width=10, worker_rows=8)
+        worker_rows = [l for l in out.splitlines() if l.startswith("w")]
+        assert len(worker_rows) == 2
+        assert worker_rows[0].startswith("w00-00")
+        assert worker_rows[1].startswith("w01-01")
+
+    def test_width_larger_than_span(self):
+        # Span of 5 cycles, 100 requested columns: buckets clamp to 1
+        # cycle and the rendered row must not exceed the span.
+        tr = Trace(1)
+        tr.intervals.append(TraceInterval(0, 0, 5, "t"))
+        tr.phases.append(PhaseSpan("p", 0, 5))
+        out = render_trace(tr, width=100, worker_rows=1)
+        row = next(l for l in out.splitlines() if l.startswith("w00"))
+        cells = row.split(" ", 1)[1]
+        assert len(cells) == 5
+        assert set(cells) == {"@"}  # fully busy throughout
+
+    def test_width_smaller_than_span(self):
+        # 1000-cycle span squeezed into 4 columns still covers the run.
+        tr = Trace(1)
+        tr.intervals.append(TraceInterval(0, 0, 1000, "t"))
+        out = render_trace(tr, width=4, worker_rows=1)
+        row = next(l for l in out.splitlines() if l.startswith("w00"))
+        cells = row.split(" ", 1)[1]
+        assert len(cells) == 4
+        assert set(cells) == {"@"}
+
+    def test_phase_table_and_empty_phase_table(self):
+        tr = Trace(1)
+        assert render_phase_table(tr) == "(no phases)"
+        tr.intervals.append(TraceInterval(0, 0, 10, "t"))
+        tr.phases.append(PhaseSpan("setup", 0, 10))
+        table = render_phase_table(tr)
+        assert "setup" in table and "util" in table
+
+
+class TestJsonExport:
+    def _traced_run(self):
+        rt = VirtualTimeRuntime(4, cost_model=FREE, enable_trace=True)
+
+        def body():
+            with rt.phase("p1"):
+                g = rt.task_group()
+                for _ in range(8):
+                    g.spawn(rt.charge, 100)
+                g.wait()
+
+        rt.run(body)
+        return rt
+
+    def test_trace_round_trip(self):
+        rt = self._traced_run()
+        blob = trace_to_json(rt.trace)
+        json.dumps(blob)  # serializable as-is
+        rebuilt = trace_from_json(blob)
+        assert rebuilt.n_workers == rt.trace.n_workers
+        assert trace_to_json(rebuilt) == blob
+        assert [p.name for p in rebuilt.phases] == ["p1"]
+
+    def test_run_report_validates(self):
+        rt = self._traced_run()
+        report = run_report(rt, workload="unit")
+        assert validate_report(report) == []
+        assert report["schema"] == "repro.run-report/1"
+        assert report["backend"] == "vtime"
+        assert report["time_unit"] == "cycles"
+        assert report["makespan"] == rt.makespan
+        assert report["metrics"]["counters"]["rt.tasks_spawned"] == 8
+        # Full JSON round trip preserves validity.
+        again = json.loads(json.dumps(report))
+        assert validate_report(again) == []
+
+    def test_run_report_without_trace_or_metrics(self):
+        rt = SerialRuntime(enable_metrics=False)
+        rt.run(lambda: rt.charge(7))
+        report = run_report(rt)
+        assert validate_report(report) == []
+        assert report["backend"] == "serial"
+        assert report["metrics"] is None
+        assert report["trace"] is None
+        assert report["workload"] is None
+
+    def test_validator_flags_corruption(self):
+        rt = self._traced_run()
+        report = run_report(rt)
+
+        bad = json.loads(json.dumps(report))
+        bad["schema"] = "repro.run-report/999"
+        assert validate_report(bad)
+
+        bad = json.loads(json.dumps(report))
+        bad["trace"]["intervals"][0]["worker"] = 99
+        assert validate_report(bad)
+
+        bad = json.loads(json.dumps(report))
+        first = next(iter(bad["metrics"]["histograms"]))
+        bad["metrics"]["histograms"][first]["count"] = -1
+        assert validate_report(bad)
+
+        assert validate_report("not a dict")
+        assert validate_report({})
+
+    def test_render_metrics_table(self):
+        rt = self._traced_run()
+        out = render_metrics(rt.metrics.snapshot())
+        assert "rt.tasks_spawned" in out
+        assert "histogram (cycles)" in out
+        assert render_metrics({"counters": {}, "histograms": {}}) == \
+            "(no metrics)"
