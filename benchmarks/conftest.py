@@ -34,22 +34,33 @@ HPC_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.15"))
 OUT_DIR = os.path.join(os.path.dirname(__file__), "out")
 
 
+def _atomic_write(path: str, content: str) -> None:
+    """Write via a same-directory temp file + rename, so an interrupted
+    run can never leave a truncated file at ``path``."""
+    tmp = path + ".tmp"
+    with open(tmp, "w") as f:
+        f.write(content)
+        f.flush()
+        os.fsync(f.fileno())
+    os.replace(tmp, path)
+
+
 def write_table(name: str, text: str, data=None) -> None:
     """Write a rendered table to ``benchmarks/out/<name>``.
 
     When ``data`` is given, a machine-readable sidecar is written next to
     it as ``<stem>.json`` — this is what the perf trajectory is tracked
     from across PRs (the text tables are for humans; the sidecars are
-    stable, diffable JSON).
+    stable, diffable JSON).  Both writes are atomic: trackers diffing
+    ``benchmarks/out/`` must never see a half-written table or sidecar,
+    even if the run is killed mid-benchmark.
     """
     os.makedirs(OUT_DIR, exist_ok=True)
-    with open(os.path.join(OUT_DIR, name), "w") as f:
-        f.write(text)
+    _atomic_write(os.path.join(OUT_DIR, name), text)
     if data is not None:
         stem = os.path.splitext(name)[0]
-        with open(os.path.join(OUT_DIR, stem + ".json"), "w") as f:
-            json.dump(data, f, indent=2, sort_keys=True)
-            f.write("\n")
+        _atomic_write(os.path.join(OUT_DIR, stem + ".json"),
+                      json.dumps(data, indent=2, sort_keys=True) + "\n")
     print("\n" + text)
 
 

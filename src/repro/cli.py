@@ -51,9 +51,12 @@ def _load_workload(spec: str, scale: float):
 
 
 def _add_runtime_args(p: argparse.ArgumentParser) -> None:
+    from repro.runtime import BACKENDS
+
     p.add_argument("--workers", "-j", type=int, default=8,
-                   help="number of (simulated) workers")
-    p.add_argument("--runtime", choices=["vtime", "threads", "serial"],
+                   help="number of (simulated or real) workers")
+    p.add_argument("--runtime", "--backend", dest="runtime",
+                   choices=list(BACKENDS),
                    default="vtime", help="execution backend")
     p.add_argument("--scale", type=float, default=0.1,
                    help="workload scale factor for presets")
@@ -65,6 +68,13 @@ def _make_rt(args, **kw):
     n = 1 if args.runtime == "serial" else args.workers
     kw.setdefault("enable_metrics", not getattr(args, "no_metrics", False))
     return make_runtime(args.runtime, n, **kw)
+
+
+def _makespan_field(args, rt) -> tuple[str, int | float]:
+    """(key, value) for the makespan: wall-clock backends report seconds."""
+    if args.runtime in ("threads", "procs"):
+        return "makespan_seconds", rt.makespan
+    return "makespan_cycles", rt.makespan
 
 
 def cmd_synth(args) -> int:
@@ -108,8 +118,16 @@ def cmd_parse(args) -> int:
             "edges_trimmed": s.n_edges_trimmed,
         },
         "tailcall_flips": s.n_tailcall_flips,
-        "makespan_cycles": rt.makespan,
     }
+    key, value = _makespan_field(args, rt)
+    out[key] = value
+    if args.runtime == "procs" and rt.metrics.enabled:
+        out["procs"] = {
+            "shards": rt.metrics.counter("procs.shards"),
+            "pool_fallback": rt.metrics.counter("procs.pool_fallback"),
+            "merged_cache_insns":
+                rt.metrics.counter("procs.merged_cache_insns"),
+        }
     print(json.dumps(out, indent=2))
     return 0
 

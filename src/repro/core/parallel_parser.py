@@ -88,12 +88,20 @@ class ParallelParser:
     """One-shot parser for one binary on one runtime."""
 
     def __init__(self, binary: LoadedBinary, rt: Runtime,
-                 options: ParseOptions | None = None):
+                 options: ParseOptions | None = None,
+                 seed_entries: list[int] | None = None,
+                 warm_cache: dict[int, Instruction] | None = None):
         self.binary = binary
         self.rt = rt
         self.opts = options or ParseOptions()
         self.decoder = binary.decoder
         self.image = binary.image
+        #: restrict stage 1 to these entries (procs backend shards);
+        #: None means the binary's full ``F0``.
+        self.seed_entries = seed_entries
+        #: read-only pre-decoded instructions (procs backend merge):
+        #: semantically transparent — only removes redundant decoding.
+        self._warm = warm_cache or None
         self.blocks_by_start: ConcurrentHashMap[int, Block] = \
             ConcurrentHashMap(rt, name="blocks")
         self.block_ends: ConcurrentHashMap[int, Block] = \
@@ -111,6 +119,11 @@ class ParallelParser:
         self._round_discovered: list[Function] = []  # round-mode only
 
     # ------------------------------------------------------------- public API
+
+    def local_decode_cache(self) -> dict[int, Instruction]:
+        """The calling thread's decode cache (complete after a serial
+        parse — this is the shard delta the procs backend ships home)."""
+        return getattr(self._tl, "insns", None) or {}
 
     def execute(self) -> ParsedCFG:
         """Run all three stages; must be called inside ``rt.run``."""
@@ -139,7 +152,9 @@ class ParallelParser:
             size_of[s.offset] = max(size_of.get(s.offset, 0), s.size)
         for s in self.binary.dynsym.functions():
             name_of.setdefault(s.offset, s.name)
-        entries = self.binary.entry_addresses()
+        entries = (self.binary.entry_addresses()
+                   if self.seed_entries is None
+                   else sorted(self.seed_entries))
 
         results: list[tuple[Function, list[Block]]] = []
 
@@ -234,11 +249,19 @@ class ParallelParser:
         cache: dict[int, Instruction] = getattr(self._tl, "insns", None) or {}
         if not hasattr(self._tl, "insns"):
             self._tl.insns = cache
+        warm = self._warm
         insns: list[Instruction] = []
         addr = start
         misses = 0
         while True:
             insn = cache.get(addr)
+            if insn is None and warm is not None:
+                # Pre-decoded by a shard worker (procs backend): a warm
+                # hit costs no decode charge — that work already ran in
+                # parallel.
+                insn = warm.get(addr)
+                if insn is not None:
+                    cache[addr] = insn
             if insn is None:
                 if not self.decoder.contains(addr):
                     break
@@ -584,6 +607,14 @@ class ParallelParser:
 
 def parse_binary(binary: LoadedBinary, rt: Runtime,
                  options: ParseOptions | None = None) -> ParsedCFG:
-    """Convenience: run the full parallel parse under ``rt.run``."""
+    """Convenience: run the full parallel parse under ``rt.run``.
+
+    Backends that implement sharded construction (the ``procs``
+    process-pool backend) expose ``sharded_parse``; dispatching here
+    keeps every caller — CLI, apps, benchmarks — backend-agnostic.
+    """
+    sharded = getattr(rt, "sharded_parse", None)
+    if sharded is not None:
+        return sharded(binary, options)
     parser = ParallelParser(binary, rt, options)
     return rt.run(parser.execute)

@@ -15,6 +15,10 @@ so this package provides two interchangeable backends behind one
   Section 5.2 are genuinely race-free under preemption.
 - :class:`~repro.runtime.serial.SerialRuntime` — a single-worker fast path
   used by the serial baseline parser.
+- :class:`~repro.runtime.procs.ProcsRuntime` — a ``multiprocessing``
+  worker pool running sharded CFG construction: real hardware
+  parallelism for the decode/traversal work, with a serial merge that
+  reproduces the serial fixed point exactly.
 
 The concurrent hash map of Listings 4–6 lives in
 :mod:`repro.runtime.conchash`, built on the runtime lock abstraction so one
@@ -27,6 +31,7 @@ from repro.runtime.metrics import NULL_METRICS, Histogram, MetricsRegistry
 from repro.runtime.serial import SerialRuntime
 from repro.runtime.vtime import VirtualTimeRuntime
 from repro.runtime.threads import ThreadRuntime
+from repro.runtime.procs import ProcsRuntime
 from repro.runtime.conchash import ConcurrentHashMap
 
 __all__ = [
@@ -39,19 +44,26 @@ __all__ = [
     "SerialRuntime",
     "VirtualTimeRuntime",
     "ThreadRuntime",
+    "ProcsRuntime",
     "ConcurrentHashMap",
 ]
+
+#: Names accepted by :func:`make_runtime` (and the CLI ``--backend``).
+BACKENDS = ("vtime", "threads", "serial", "procs")
 
 
 def make_runtime(kind: str, n_workers: int, **kwargs) -> Runtime:
     """Factory: build a runtime backend by name.
 
-    ``kind`` is one of ``"vtime"``, ``"threads"``, ``"serial"``.
+    ``kind`` is one of ``"vtime"``, ``"threads"``, ``"serial"``,
+    ``"procs"``.
     """
     if kind == "vtime":
         return VirtualTimeRuntime(n_workers, **kwargs)
     if kind == "threads":
         return ThreadRuntime(n_workers, **kwargs)
+    if kind == "procs":
+        return ProcsRuntime(n_workers, **kwargs)
     if kind == "serial":
         if n_workers != 1:
             raise ValueError("serial runtime has exactly one worker")

@@ -136,6 +136,39 @@ class MetricsRegistry:
         finally:
             self.observe(name, self._clock() - t0)
 
+    # -- merging -------------------------------------------------------------
+
+    def merge_snapshot(self, snap: dict, prefix: str = "") -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Counters add; histograms merge count/sum/min/max and bucket
+        tallies (power-of-two buckets merge exactly).  ``prefix`` is
+        prepended to every name — the procs backend uses ``"workers."``
+        so per-worker collections stay distinguishable from the
+        coordinator's own series.  Cross-process metric flow is exactly
+        this: collect in the worker, snapshot, merge at the join.
+        """
+        with self._lock:
+            for k, v in snap.get("counters", {}).items():
+                key = prefix + k
+                self._counters[key] = self._counters.get(key, 0) + v
+            for k, h in snap.get("histograms", {}).items():
+                key = prefix + k
+                dst = self._hists.get(key)
+                if dst is None:
+                    dst = self._hists[key] = Histogram()
+                dst.count += h["count"]
+                dst.total += h["sum"]
+                for bound, better in (("min", min), ("max", max)):
+                    v = h.get(bound)
+                    if v is not None:
+                        cur = getattr(dst, bound)
+                        setattr(dst, bound,
+                                v if cur is None else better(cur, v))
+                for bk, c in h.get("buckets", {}).items():
+                    b = int(bk)
+                    dst.buckets[b] = dst.buckets.get(b, 0) + c
+
     # -- reading -------------------------------------------------------------
 
     def counter(self, name: str) -> int:
@@ -170,6 +203,9 @@ class _NullMetrics(MetricsRegistry):
         pass
 
     def observe(self, name: str, value: int) -> None:
+        pass
+
+    def merge_snapshot(self, snap: dict, prefix: str = "") -> None:
         pass
 
     @contextmanager

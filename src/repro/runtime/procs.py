@@ -1,0 +1,294 @@
+"""Process-parallel runtime backend: sharded CFG construction.
+
+The ``threads`` backend proves the algorithm race-free but cannot show
+real wall-clock scaling under CPython's GIL.  This backend gets genuine
+hardware parallelism from ``multiprocessing``: a pool of worker
+*processes* executes batched parse tasks over sharded binary regions,
+and a merge step on the coordinator re-derives the exact serial fixed
+point from the workers' deltas.
+
+Execution model
+---------------
+1. **Shard** — the binary's candidate entry addresses (``F0``) are
+   split into contiguous address regions, one batch per worker
+   (:func:`shard_regions`).  Contiguity keeps each worker's decode
+   working set local, mirroring the paper's Section 6.4 cache story.
+2. **Speculative expansion (parallel)** — each worker process rebuilds
+   the binary from the pickled image bytes (sent once per worker via
+   the pool initializer), then runs the ordinary serial parser seeded
+   with its shard's entries.  This performs the expansion-phase
+   operations (``O_BER``/``O_DEC``/…) for the shard's call closure and
+   fills a per-worker decode cache — the process analogue of the
+   thread-local instruction cache of Section 6.4.
+3. **Merge (coordinator)** — each worker returns a pickling-friendly
+   :class:`ShardDelta`: the functions it discovered, its decode cache,
+   parse statistics and a metrics snapshot.  The coordinator unions the
+   decode caches and replays them through the *existing*
+   expansion/correction machinery (:class:`ParallelParser` on the
+   coordinator's serial scheduler, warm-started with the merged cache).
+   Because the replay is exactly the deterministic serial algorithm —
+   the cache only removes redundant decoding, never changes a decoded
+   instruction — the final graph equals the serial fixed point
+   byte-for-byte (the differential battery pins this down).
+
+Shared CFG state never crosses a process boundary mid-construction:
+cross-shard block splits, noreturn waves and tail-call correction all
+happen in the merge replay, where the five invariants hold trivially
+(single writer).  What parallelizes is the dominant decode + traversal
+work; what stays serial is the correction phase — the same split the
+paper's finalization phase makes.
+
+``makespan`` reports wall-clock seconds covering the shard fan-out and
+the merge replay, making this the backend for real-parallelism columns
+in the benchmark harness.  Worker metrics are merged into the
+coordinator registry under a ``workers.`` prefix; the fan-out itself is
+observable via the ``procs.*`` metrics (catalog:
+``docs/OBSERVABILITY.md``).
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+from repro.errors import RuntimeConfigError
+from repro.runtime.serial import SerialRuntime
+
+#: Per-process worker state installed by :func:`_worker_init`.
+_WORKER: dict[str, Any] | None = None
+
+
+@dataclass(frozen=True)
+class ShardTask:
+    """One batched parse task: a contiguous region of entry addresses.
+
+    Deliberately plain data (ints only) so payloads pickle cheaply; the
+    binary itself travels once per worker via the pool initializer, not
+    once per task.
+    """
+
+    shard_id: int
+    seeds: tuple[int, ...]
+
+    @property
+    def lo(self) -> int:
+        return self.seeds[0]
+
+    @property
+    def hi(self) -> int:
+        return self.seeds[-1]
+
+
+@dataclass
+class ShardDelta:
+    """A worker's pickling-friendly contribution to the merged parse."""
+
+    shard_id: int
+    #: functions the shard's closure discovered: (addr, name, via)
+    entries: list[tuple[int, str, str]] = field(default_factory=list)
+    #: the worker's decode cache: addr -> decoded Instruction
+    insns: dict[int, Any] = field(default_factory=dict)
+    #: (functions, blocks, edges) of the worker-local parse
+    counts: tuple[int, int, int] = (0, 0, 0)
+    #: worker registry snapshot (``repro.metrics/1``), or None
+    metrics: dict | None = None
+    #: traceback text if the shard failed (re-raised by the coordinator)
+    error: str | None = None
+
+
+def shard_regions(entries: list[int], n_shards: int
+                  ) -> list[tuple[int, ...]]:
+    """Split sorted entry addresses into contiguous, balanced regions.
+
+    Returns at most ``n_shards`` non-empty tuples; address order is
+    preserved so each shard covers one contiguous slice of the text
+    region (locality for the worker's decode cache).
+    """
+    ent = sorted(entries)
+    if not ent:
+        return []
+    n = max(1, min(n_shards, len(ent)))
+    base, extra = divmod(len(ent), n)
+    out: list[tuple[int, ...]] = []
+    idx = 0
+    for i in range(n):
+        size = base + (1 if i < extra else 0)
+        if size:
+            out.append(tuple(ent[idx:idx + size]))
+        idx += size
+    return out
+
+
+def _run_shard(binary, options, task: ShardTask,
+               enable_metrics: bool) -> ShardDelta:
+    """Parse one shard on a private serial runtime; used by both the
+    pool workers and the in-process fallback."""
+    from repro.core.parallel_parser import ParallelParser
+
+    # The delta *is* the decode cache, so force it on for the shard.
+    opts = replace(options, thread_local_cache=True)
+    rt = SerialRuntime(enable_metrics=enable_metrics)
+    parser = ParallelParser(binary, rt, opts,
+                            seed_entries=list(task.seeds))
+    cfg = rt.run(parser.execute)
+    s = cfg.stats
+    return ShardDelta(
+        shard_id=task.shard_id,
+        entries=[(f.addr, f.name, f.discovered_via)
+                 for f in cfg.functions()],
+        insns=dict(parser.local_decode_cache()),
+        counts=(s.n_functions, s.n_blocks, s.n_edges),
+        metrics=rt.metrics.snapshot() if enable_metrics else None,
+    )
+
+
+def _worker_init(image_bytes: bytes, options, enable_metrics: bool) -> None:
+    """Pool initializer: rebuild the binary once per worker process."""
+    from repro.binary.loader import load_image
+
+    global _WORKER
+    _WORKER = {
+        "binary": load_image(image_bytes),
+        "options": options,
+        "enable_metrics": enable_metrics,
+    }
+
+
+def _parse_shard(task: ShardTask) -> ShardDelta:
+    """Pool task: run one shard in this worker process.
+
+    Failures are returned as data (not raised) so one bad shard cannot
+    poison the pool; the coordinator re-raises with context.
+    """
+    assert _WORKER is not None, "pool initializer did not run"
+    try:
+        return _run_shard(_WORKER["binary"], _WORKER["options"], task,
+                          _WORKER["enable_metrics"])
+    except Exception:  # pragma: no cover - exercised via error delta test
+        import traceback
+
+        return ShardDelta(shard_id=task.shard_id,
+                          error=traceback.format_exc())
+
+
+class ProcsRuntime(SerialRuntime):
+    """Process-pool backend: parallel shard parses + serial merge.
+
+    The coordinator side is a single-worker serial scheduler (tasks,
+    locks and charges behave exactly like :class:`SerialRuntime`), so
+    any algorithm written against the Runtime API runs correctly,
+    merely without in-process parallelism.  Real parallelism comes from
+    :meth:`sharded_parse`, which ``parse_binary`` dispatches to
+    automatically for this backend.
+    """
+
+    def __init__(self, n_workers: int, cost_model=None,
+                 enable_metrics: bool = True,
+                 start_method: str | None = None,
+                 in_process: bool = False):
+        if n_workers < 1:
+            raise RuntimeConfigError("need at least one worker")
+        super().__init__(cost_model=cost_model,
+                         enable_metrics=enable_metrics)
+        self.num_workers = n_workers
+        #: multiprocessing start method ("fork", "spawn", ...); None =
+        #: platform default.
+        self.start_method = start_method
+        #: run shards inline in the coordinator process (test/debug
+        #: escape hatch; also the automatic fallback when no pool can
+        #: be created, e.g. in sandboxes without semaphore support).
+        self.in_process = in_process
+        self._t0: float | None = None
+        self._elapsed: float | None = None
+        #: deltas of the last sharded parse (observability/tests).
+        self.shard_deltas: list[ShardDelta] | None = None
+
+    # -- Runtime API ---------------------------------------------------------
+
+    def run(self, fn, *args):
+        if self._t0 is None:
+            self._t0 = time.perf_counter()
+        try:
+            return super().run(fn, *args)
+        finally:
+            self._elapsed = time.perf_counter() - self._t0
+
+    @property
+    def makespan(self) -> float:
+        """Wall-clock seconds of the last run (incl. the shard fan-out)."""
+        if self._elapsed is None:
+            raise RuntimeConfigError("makespan available only after run()")
+        return self._elapsed
+
+    # -- sharded CFG construction ------------------------------------------------
+
+    def sharded_parse(self, binary, options=None):
+        """Parse ``binary`` with the shard/merge pipeline (module doc).
+
+        ``parse_binary`` calls this automatically when handed a
+        :class:`ProcsRuntime`; the signature of the result is identical
+        to a serial parse of the same binary.
+        """
+        from repro.core.parallel_parser import ParallelParser, ParseOptions
+
+        opts = options or ParseOptions()
+        self._t0 = time.perf_counter()
+        m = self.metrics
+        shards = shard_regions(binary.entry_addresses(), self.num_workers)
+        tasks = [ShardTask(i, seeds) for i, seeds in enumerate(shards)]
+
+        t_pool = time.perf_counter_ns()
+        deltas = self._map_shards(binary, opts, tasks)
+        if m.enabled:
+            m.observe("procs.fanout_wall_ns",
+                      time.perf_counter_ns() - t_pool)
+        self.shard_deltas = deltas
+
+        warm: dict[int, Any] = {}
+        for d in sorted(deltas, key=lambda d: d.shard_id):
+            if d.error is not None:
+                raise RuntimeConfigError(
+                    f"shard {d.shard_id} failed:\n{d.error}")
+            warm.update(d.insns)
+            if m.enabled:
+                m.inc("procs.shard_functions", d.counts[0])
+                m.inc("procs.shard_insns_decoded", len(d.insns))
+                if d.metrics is not None:
+                    m.merge_snapshot(d.metrics, prefix="workers.")
+        if m.enabled:
+            m.inc("procs.shards", len(tasks))
+            m.inc("procs.merged_cache_insns", len(warm))
+
+        parser = ParallelParser(binary, self, opts, warm_cache=warm)
+        return self.run(parser.execute)
+
+    # -- pool plumbing -------------------------------------------------------------
+
+    def _map_shards(self, binary, opts, tasks: list[ShardTask]
+                    ) -> list[ShardDelta]:
+        if self.in_process or len(tasks) <= 1:
+            return self._map_inline(binary, opts, tasks)
+        try:
+            ctx = (multiprocessing.get_context(self.start_method)
+                   if self.start_method else multiprocessing.get_context())
+            with ctx.Pool(
+                processes=min(self.num_workers, len(tasks)),
+                initializer=_worker_init,
+                initargs=(binary.image.to_bytes(), opts,
+                          self.metrics.enabled),
+            ) as pool:
+                return pool.map(_parse_shard, tasks)
+        except Exception:
+            # No usable pool (sandboxed semaphores, missing start
+            # method, pickling restrictions): degrade to in-process
+            # shards — same code path, no parallelism, observable via
+            # the fallback counter.
+            self.metrics.inc("procs.pool_fallback")
+            return self._map_inline(binary, opts, tasks)
+
+    def _map_inline(self, binary, opts, tasks: list[ShardTask]
+                    ) -> list[ShardDelta]:
+        return [_run_shard(binary, opts, t, self.metrics.enabled)
+                for t in tasks]

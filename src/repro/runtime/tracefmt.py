@@ -151,7 +151,11 @@ _BACKEND_NAMES = {
     "VirtualTimeRuntime": "vtime",
     "ThreadRuntime": "threads",
     "SerialRuntime": "serial",
+    "ProcsRuntime": "procs",
 }
+
+#: Backends whose ``makespan`` is wall-clock seconds (vs cycles).
+_WALL_CLOCK_BACKENDS = ("threads", "procs")
 
 
 def run_report(rt: Any, workload: str | None = None) -> dict:
@@ -160,8 +164,8 @@ def run_report(rt: Any, workload: str | None = None) -> dict:
     Must be called after ``rt.run`` returned (``makespan`` is read).
     ``time_unit`` describes the makespan and trace timestamps; the
     metrics snapshot carries its own unit (identical except on the
-    threads backend, where the makespan is wall seconds but metric
-    timings are wall nanoseconds).
+    wall-clock backends — threads and procs — where the makespan is
+    wall seconds but metric timings are in the registry's own unit).
     """
     backend = _BACKEND_NAMES.get(type(rt).__name__, type(rt).__name__)
     return {
@@ -169,7 +173,8 @@ def run_report(rt: Any, workload: str | None = None) -> dict:
         "backend": backend,
         "workload": workload,
         "n_workers": rt.num_workers,
-        "time_unit": "seconds" if backend == "threads" else "cycles",
+        "time_unit": ("seconds" if backend in _WALL_CLOCK_BACKENDS
+                      else "cycles"),
         "makespan": rt.makespan,
         "metrics": rt.metrics.snapshot() if rt.metrics.enabled else None,
         "trace": trace_to_json(rt.trace) if rt.trace is not None else None,
@@ -195,7 +200,7 @@ def validate_report(obj: Any) -> list[str]:
         return errs
     expect(obj.get("schema") == REPORT_SCHEMA,
            f"schema is {obj.get('schema')!r}, want {REPORT_SCHEMA!r}")
-    expect(obj.get("backend") in ("vtime", "threads", "serial"),
+    expect(obj.get("backend") in ("vtime", "threads", "serial", "procs"),
            f"unknown backend {obj.get('backend')!r}")
     expect(isinstance(obj.get("n_workers"), int)
            and obj.get("n_workers", 0) >= 1, "n_workers must be an int >= 1")

@@ -40,6 +40,25 @@ class TestCli:
         assert rc == 0
         assert out["workers"] == 1
 
+    def test_parse_procs_backend(self, capsys, tmp_path):
+        """The acceptance path: synth to disk, parse with --backend
+        procs, stats identical to serial plus wall-clock makespan."""
+        path = str(tmp_path / "t.sbin")
+        rc, _ = run_cli(capsys, "synth", "tiny", "--output", path)
+        assert rc == 0
+        rc, serial = run_cli(capsys, "parse", path, "--runtime", "serial")
+        assert rc == 0
+        rc, out = run_cli(capsys, "parse", path, "--backend", "procs",
+                          "--workers", "4")
+        assert rc == 0
+        assert out["workers"] == 4
+        assert out["makespan_seconds"] > 0
+        assert "makespan_cycles" not in out
+        assert out["procs"]["shards"] >= 1
+        for key in ("functions", "blocks", "edges", "splits",
+                    "jump_tables", "tailcall_flips"):
+            assert out[key] == serial[key], key
+
     def test_hpcstruct(self, capsys):
         rc, out = run_cli(capsys, "hpcstruct", "tiny", "-j", "2")
         assert rc == 0

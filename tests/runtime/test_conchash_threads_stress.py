@@ -1,0 +1,129 @@
+"""ConcurrentHashMap accessor semantics under real preemption.
+
+The paper's invariants depend on the map's two promises: ``insert`` is
+an atomic insert-if-absent, and an accessor is an exclusive entry-level
+lock for the whole compound operation.  This stress drives many writer
+tasks through interleaved insert / find / accessor-increment / erase
+traffic on the thread backend (with the interpreter switch interval
+shrunk so preemption lands *inside* compound operations), then runs the
+byte-identical workload on the deterministic virtual-time backend and
+asserts the final map contents match exactly.
+
+The workload is schedule-independent by construction: wave 1 tasks only
+insert and increment (commutative), a task-group wait acts as the
+barrier, and wave 2 erases a key subset fixed in advance — so any
+divergence is a lost update, a torn entry, or a broken accessor, not an
+ordering artifact.
+"""
+
+from __future__ import annotations
+
+import random
+import sys
+
+import pytest
+
+from repro.runtime import ConcurrentHashMap, ThreadRuntime, VirtualTimeRuntime
+
+N_KEYS = 37          # intentionally ugly: keys collide across shards
+N_TASKS = 24
+OPS_PER_TASK = 60
+
+
+@pytest.fixture(autouse=True)
+def fast_switching():
+    old = sys.getswitchinterval()
+    sys.setswitchinterval(1e-6)
+    yield
+    sys.setswitchinterval(old)
+
+
+def _task_ops(task_id: int, seed: int) -> list[tuple[str, int]]:
+    """The (op, key) sequence for one task — pure function of ids."""
+    rng = random.Random((seed << 8) | task_id)
+    ops = []
+    for _ in range(OPS_PER_TASK):
+        op = rng.choice(("insert", "find", "bump", "bump", "bump"))
+        ops.append((op, rng.randrange(N_KEYS)))
+    return ops
+
+
+def _erase_set(seed: int) -> list[int]:
+    """Keys wave 2 erases — fixed before any task runs."""
+    return sorted(random.Random(seed ^ 0xE0A5E).sample(range(N_KEYS), 9))
+
+
+def _run_workload(rt, seed: int, n_shards: int) -> list[tuple[int, int]]:
+    """Two waves of map traffic; returns the final sorted contents."""
+    result = []
+
+    def body():
+        m = ConcurrentHashMap(rt, n_shards=n_shards, name="stress")
+
+        def writer(task_id: int):
+            for op, key in _task_ops(task_id, seed):
+                if op == "insert":
+                    m.insert(key, 0)
+                elif op == "find":
+                    with m.accessor(key, create=False) as acc:
+                        if acc is not None:
+                            assert acc.value >= 0
+                else:  # bump: the compound read-modify-write
+                    with m.accessor(key) as acc:
+                        acc.value = (0 if not acc.has_value
+                                     else acc.value) + 1
+
+        g = rt.task_group()
+        for t in range(N_TASKS):
+            g.spawn(writer, t)
+        g.wait()  # barrier: wave 2 must see every wave-1 write
+
+        def eraser(key: int):
+            m.remove(key)
+
+        g2 = rt.task_group()
+        for key in _erase_set(seed):
+            g2.spawn(eraser, key)
+        g2.wait()
+
+        result.extend(m.sorted_items())
+
+    rt.run(body)
+    return result
+
+
+def _expected(seed: int) -> list[tuple[int, int]]:
+    """Single-threaded oracle: bump-counts per key, minus the erase set."""
+    counts: dict[int, int] = {}
+    for t in range(N_TASKS):
+        for op, key in _task_ops(t, seed):
+            if op == "insert":
+                counts.setdefault(key, 0)
+            elif op == "bump":
+                counts[key] = counts.get(key, 0) + 1
+    for key in _erase_set(seed):
+        counts.pop(key, None)
+    return sorted(counts.items())
+
+
+@pytest.mark.parametrize("seed", [1, 8, 17])
+def test_threads_match_vtime_twin(seed):
+    want = _run_workload(VirtualTimeRuntime(8), seed, n_shards=8)
+    assert want == _expected(seed)  # the vtime twin agrees with the oracle
+    got = _run_workload(ThreadRuntime(8), seed, n_shards=8)
+    assert got == want
+
+
+def test_threads_repeated_runs_agree():
+    """Re-running the same racy workload can't produce different maps."""
+    runs = {tuple(_run_workload(ThreadRuntime(12), 5, n_shards=4))
+            for _ in range(4)}
+    assert len(runs) == 1
+
+
+def test_single_shard_maximum_contention():
+    """n_shards=1 funnels every op through one shard lock — the worst
+    case for both the shard critical section and entry-lock handoff."""
+    want = _expected(3)
+    got = _run_workload(ThreadRuntime(8), 3, n_shards=1)
+    assert got == want

@@ -1,0 +1,124 @@
+"""Unit tests for the process-pool backend (sharding, merge, fallback)."""
+
+import pytest
+
+from repro.core import parse_binary
+from repro.errors import RuntimeConfigError
+from repro.runtime import ProcsRuntime, SerialRuntime
+from repro.runtime.procs import ShardDelta, ShardTask, shard_regions
+from repro.runtime.tracefmt import run_report, validate_report
+from repro.synth import tiny_binary
+
+
+class TestShardRegions:
+    def test_partition_preserves_entries(self):
+        entries = [40, 10, 30, 20, 50, 70, 60]
+        shards = shard_regions(entries, 3)
+        flat = [a for s in shards for a in s]
+        assert flat == sorted(entries)  # nothing lost, order contiguous
+
+    def test_balanced_sizes(self):
+        shards = shard_regions(list(range(0, 1000, 8)), 8)
+        sizes = [len(s) for s in shards]
+        assert len(shards) == 8
+        assert max(sizes) - min(sizes) <= 1
+
+    def test_more_shards_than_entries(self):
+        shards = shard_regions([1, 2, 3], 16)
+        assert shards == [(1,), (2,), (3,)]
+
+    def test_contiguous_regions_do_not_interleave(self):
+        shards = shard_regions(list(range(100)), 4)
+        for a, b in zip(shards, shards[1:]):
+            assert a[-1] < b[0]
+
+    def test_empty(self):
+        assert shard_regions([], 4) == []
+        assert shard_regions([5], 1) == [(5,)]
+
+
+class TestProcsRuntime:
+    def test_rejects_zero_workers(self):
+        with pytest.raises(RuntimeConfigError):
+            ProcsRuntime(0)
+
+    def test_makespan_requires_run(self):
+        rt = ProcsRuntime(2)
+        with pytest.raises(RuntimeConfigError):
+            rt.makespan
+        parse_binary(tiny_binary().binary, rt)
+        assert rt.makespan > 0
+
+    def test_inline_parse_matches_serial(self):
+        sb = tiny_binary(seed=5, n_functions=24)
+        want = parse_binary(sb.binary, SerialRuntime()).signature()
+        rt = ProcsRuntime(3, in_process=True)
+        assert parse_binary(sb.binary, rt).signature() == want
+        # Inline mode never touches a pool.
+        assert rt.metrics.counter("procs.pool_fallback") == 0
+
+    def test_shard_deltas_recorded(self):
+        sb = tiny_binary(seed=5, n_functions=24)
+        rt = ProcsRuntime(3, in_process=True)
+        parse_binary(sb.binary, rt)
+        deltas = rt.shard_deltas
+        assert deltas is not None and len(deltas) == 3
+        n_entries = len(sb.binary.entry_addresses())
+        assert sum(len(d.insns) > 0 for d in deltas) == 3
+        assert rt.metrics.counter("procs.shards") == 3
+        # Every shard parsed at least its own seeds into functions.
+        assert (rt.metrics.counter("procs.shard_functions")
+                >= n_entries)
+
+    def test_worker_metrics_merged_under_prefix(self):
+        sb = tiny_binary(seed=5, n_functions=24)
+        rt = ProcsRuntime(2, in_process=True)
+        parse_binary(sb.binary, rt)
+        names = rt.metrics.names()
+        assert any(n.startswith("workers.") for n in names)
+        # Coordinator's own series stay unprefixed alongside.
+        assert "procs.merged_cache_insns" in names
+
+    def test_no_metrics_mode(self):
+        sb = tiny_binary(seed=5, n_functions=24)
+        rt = ProcsRuntime(2, in_process=True, enable_metrics=False)
+        want = parse_binary(sb.binary, SerialRuntime()).signature()
+        assert parse_binary(sb.binary, rt).signature() == want
+        assert not rt.metrics.enabled
+
+    def test_shard_error_is_reraised_with_context(self, monkeypatch):
+        rt = ProcsRuntime(2, in_process=True)
+        monkeypatch.setattr(
+            ProcsRuntime, "_map_shards",
+            lambda self, binary, opts, tasks:
+                [ShardDelta(0, error="KaboomError: shard exploded")])
+        with pytest.raises(RuntimeConfigError, match="KaboomError"):
+            rt.sharded_parse(tiny_binary().binary)
+
+    def test_pool_failure_falls_back_inline(self, monkeypatch):
+        import multiprocessing
+
+        def no_context(*a, **kw):
+            raise OSError("no semaphores here")
+
+        monkeypatch.setattr(multiprocessing, "get_context", no_context)
+        sb = tiny_binary(seed=5, n_functions=24)
+        want = parse_binary(sb.binary, SerialRuntime()).signature()
+        rt = ProcsRuntime(4)
+        assert parse_binary(sb.binary, rt).signature() == want
+        assert rt.metrics.counter("procs.pool_fallback") == 1
+
+    def test_run_report_backend_and_unit(self):
+        rt = ProcsRuntime(2, in_process=True)
+        parse_binary(tiny_binary().binary, rt)
+        report = run_report(rt, workload="tiny")
+        assert validate_report(report) == []
+        assert report["backend"] == "procs"
+        assert report["time_unit"] == "seconds"
+        assert report["makespan"] > 0
+
+
+class TestShardTask:
+    def test_region_bounds(self):
+        t = ShardTask(0, (10, 20, 30))
+        assert (t.lo, t.hi) == (10, 30)
