@@ -127,6 +127,14 @@ def cmd_parse(args) -> int:
             "pool_fallback": rt.metrics.counter("procs.pool_fallback"),
             "merged_cache_insns":
                 rt.metrics.counter("procs.merged_cache_insns"),
+            "duplicate_insns":
+                rt.metrics.counter("procs.duplicate_insns"),
+            "merged_blocks": rt.metrics.counter("procs.merge.blocks"),
+            "merged_edges": rt.metrics.counter("procs.merge.edges"),
+            "merge_end_splits":
+                rt.metrics.counter("procs.merge.end_splits"),
+            "frontier_records":
+                rt.metrics.counter("procs.frontier.records"),
         }
     print(json.dumps(out, indent=2))
     return 0

@@ -17,6 +17,11 @@ No new CFG elements are added here.  Four steps:
 4. **Dead function removal** — functions discovered during analysis that
    ended with no incoming inter-procedural edges are dropped (symbol-table
    entries are roots and always stay).
+
+Finalization is deliberately agnostic to how the parser state was built:
+it reads only the parser's maps, noreturn table and stats, so the procs
+backend's structural merge (``repro.core.shard_merge``) can run it
+unchanged as the last phase over coordinator-stitched fragments.
 """
 
 from __future__ import annotations

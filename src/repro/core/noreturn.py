@@ -150,6 +150,37 @@ class NoReturnState:
                 rec.waiters.append(site)
             return rec.status
 
+    # -- fragment export / import (procs backend structural merge) ---------------
+
+    def dump_state(self) -> list[
+            tuple[int, ReturnStatus, list[DeferredCallSite], list[int]]]:
+        """Flatten the table for shard fragment export: one
+        ``(addr, status, waiters, tail_waiters)`` record per entry, sorted
+        by address.  Shard ownership makes the tables disjoint — waiters
+        are only ever registered on own-region callees (foreign callees
+        are frontier-deferred), so the coordinator can seed the union."""
+        out = []
+        for addr, rec in sorted(self._table.items()):
+            out.append((addr, rec.status, list(rec.waiters),
+                        list(rec.tail_waiters)))
+        return out
+
+    def seed_state(self, addr: int, status: ReturnStatus,
+                   waiters: list[DeferredCallSite],
+                   tail_waiters: list[int]) -> None:
+        """Install one exported record (coordinator merge phase)."""
+        rt = self._rt
+        rt.charge(rt.cost.noreturn_update)
+        with self._table.accessor(addr) as acc:
+            if acc.created:
+                acc.value = _StatusRec(status)
+            elif status is not ReturnStatus.UNSET:
+                # Defensive: shards should never disagree (ownership keeps
+                # the tables disjoint), but a resolved status always wins.
+                acc.value.status = status
+            acc.value.waiters.extend(waiters)
+            acc.value.tail_waiters.extend(tail_waiters)
+
     # -- wave-level fixed point ---------------------------------------------------
 
     def resolve_wave(

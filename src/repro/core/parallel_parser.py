@@ -84,13 +84,38 @@ class _TaskCtx:
     scanned: set[int] = field(default_factory=set)
 
 
+@dataclass(frozen=True)
+class FrontierRecord:
+    """One deferred cross-shard operation (procs backend fragment mode).
+
+    A shard worker parsing with an ownership range records — instead of
+    executing — every expansion step whose target address belongs to
+    another shard.  The record is flat ints/strings so it pickles without
+    dragging the block graph along; the coordinator replays it through
+    the real parser machinery during the structural merge
+    (``repro.core.shard_merge``).
+    """
+
+    seq: int                      #: discovery order within the shard
+    kind: str                     #: direct | cond | call | intra | resume
+    func_addr: int                #: the traversal task's function
+    block_start: int | None       #: source block at record time
+    end_addr: int | None          #: the source block's registered end
+    target: int | None            #: branch/intra target (direct/intra)
+    last_addr: int | None         #: CF instruction address (cond/call)
+    etype: str | None             #: EdgeType value (intra)
+    #: (caller_addr, block_start, fallthrough, callee_addr) for resume
+    site: tuple[int, int, int, int] | None
+
+
 class ParallelParser:
     """One-shot parser for one binary on one runtime."""
 
     def __init__(self, binary: LoadedBinary, rt: Runtime,
                  options: ParseOptions | None = None,
                  seed_entries: list[int] | None = None,
-                 warm_cache: dict[int, Instruction] | None = None):
+                 warm_cache: dict[int, Instruction] | None = None,
+                 owned_range: tuple[int, int] | None = None):
         self.binary = binary
         self.rt = rt
         self.opts = options or ParseOptions()
@@ -102,6 +127,12 @@ class ParallelParser:
         #: read-only pre-decoded instructions (procs backend merge):
         #: semantically transparent — only removes redundant decoding.
         self._warm = warm_cache or None
+        #: shard ownership claim ``[lo, hi)`` (procs backend fragment
+        #: mode): expansion steps targeting a foreign address are recorded
+        #: in ``_frontier`` instead of executed.  None = own everything.
+        self._owned = owned_range
+        self._frontier: list[FrontierRecord] = []
+        self._frontier_ctxs: list[_TaskCtx | None] = []
         self.blocks_by_start: ConcurrentHashMap[int, Block] = \
             ConcurrentHashMap(rt, name="blocks")
         self.block_ends: ConcurrentHashMap[int, Block] = \
@@ -139,6 +170,58 @@ class ParallelParser:
         with rt.phase("cfg_finalize"):
             cfg = finalize(self)
         return cfg
+
+    def execute_fragment(self) -> None:
+        """Stages 1–2 only, bounded by the shard ownership range.
+
+        Used by procs-backend workers: traversal defers every cross-shard
+        step into ``_frontier``, the wave fixed point runs without the
+        cycle rule (an UNSET→NORETURN conclusion is unsound on a partial
+        closure), and finalization is skipped — the coordinator merges the
+        exported fragment (``repro.core.shard_merge``) and completes the
+        parse there.  Must be called inside ``rt.run``.
+        """
+        rt = self.rt
+        with rt.phase("cfg_init"):
+            initial = self._init_functions()
+        with rt.phase("cfg_traversal"):
+            if self.opts.task_parallel:
+                self._traverse_tasked(initial)
+            else:
+                self._traverse_rounds(initial)
+            self._noreturn_waves()
+
+    # ------------------------------------------------- shard frontier (procs)
+
+    def _foreign(self, addr: int) -> bool:
+        """True if ``addr`` is owned by another shard (fragment mode)."""
+        if self._owned is None:
+            return False
+        lo, hi = self._owned
+        return not (lo <= addr < hi)
+
+    def _defer_frontier(self, ctx: _TaskCtx | None, kind: str,
+                        block: Block | None = None,
+                        target: int | None = None,
+                        last: Instruction | None = None,
+                        etype: EdgeType | None = None,
+                        site: DeferredCallSite | None = None) -> None:
+        """Record a cross-shard expansion step for coordinator replay."""
+        self.rt.metrics.inc("parser.frontier_deferred")
+        self._frontier.append(FrontierRecord(
+            seq=len(self._frontier),
+            kind=kind,
+            func_addr=(ctx.func.addr if ctx is not None
+                       else site.caller_addr),
+            block_start=block.start if block is not None else None,
+            end_addr=block.end if block is not None else None,
+            target=target,
+            last_addr=last.address if last is not None else None,
+            etype=etype.value if etype is not None else None,
+            site=((site.caller_addr, site.block.start, site.fallthrough,
+                   site.callee_addr) if site is not None else None),
+        ))
+        self._frontier_ctxs.append(ctx)
 
     # -------------------------------------------------------------- stage 1
 
@@ -237,6 +320,18 @@ class ParallelParser:
         )
         last = insns[-1] if ended_cf else None
         end = insns[-1].end
+        if last is not None and self._foreign(last.address):
+            # Linear overrun past the shard boundary: the control-flow
+            # instruction belongs to another shard, which may parse the
+            # same bytes in its own fragment.  Claim rule: only the CF
+            # instruction's owner registers this end (invariants 2–3), so
+            # edges are created exactly once; we keep the block with its
+            # end *unregistered* and defer the whole registration for
+            # coordinator replay, where it reconciles against the owner's
+            # blocks through the ordinary split cascade.
+            block.end = end
+            self._defer_frontier(ctx, "end", block=block, last=last)
+            return
         self._register_end(ctx, block, end, last)
 
     def _linear_parse(self, start: int) -> tuple[list[Instruction], bool]:
@@ -299,32 +394,45 @@ class ParallelParser:
                     if lst is not None:
                         self._create_edges(ctx, blk, lst)
                     continue
-                other = acc.value
-                if other is blk:
+                if acc.value is blk:
                     continue
-                rt.charge(rt.cost.block_split)
-                rt.metrics.inc("parser.block_splits")
-                self.stats.n_splits += 1
-                if other.start < blk.start:
-                    # Split the incumbent: it keeps [xo, xb); we take over
-                    # the end registration and inherit its out-edges.
-                    acc.value = blk
-                    blk.end = e
-                    blk.last_kind = other.last_kind
-                    moved = other.out_edges
-                    other.out_edges = []
-                    for edge in moved:
-                        edge.src = blk
-                    blk.out_edges.extend(moved)
-                    other.truncate(blk.start)
-                    self._link(other, blk, EdgeType.FALLTHROUGH)
-                    pending = (other, blk.start, None)
-                else:
-                    # We are the longer block: truncate ourselves and
-                    # re-register at the incumbent's start.
-                    blk.truncate(other.start)
-                    self._link(blk, other, EdgeType.FALLTHROUGH)
-                    pending = (blk, other.start, None)
+                pending = self._split_collision(blk, e, acc)
+
+    def _split_collision(self, blk: Block, e: int, acc
+                         ) -> tuple[Block, int, None]:
+        """Invariant 4: two distinct blocks claim end ``e`` — split.
+
+        ``acc`` is the held accessor for ``block_ends[e]``.  Returns the
+        (block, end) pair that must re-register at a strictly smaller end
+        address.  Shared with the procs-backend structural merge, which
+        re-registers imported shard block ends through the same cascade
+        to reconcile cross-shard disagreements about where a region's
+        blocks end.
+        """
+        rt = self.rt
+        other = acc.value
+        rt.charge(rt.cost.block_split)
+        rt.metrics.inc("parser.block_splits")
+        self.stats.n_splits += 1
+        if other.start < blk.start:
+            # Split the incumbent: it keeps [xo, xb); we take over
+            # the end registration and inherit its out-edges.
+            acc.value = blk
+            blk.end = e
+            blk.last_kind = other.last_kind
+            moved = other.out_edges
+            other.out_edges = []
+            for edge in moved:
+                edge.src = blk
+            blk.out_edges.extend(moved)
+            other.truncate(blk.start)
+            self._link(other, blk, EdgeType.FALLTHROUGH)
+            return (other, blk.start, None)
+        # We are the longer block: truncate ourselves and
+        # re-register at the incumbent's start.
+        blk.truncate(other.start)
+        self._link(blk, other, EdgeType.FALLTHROUGH)
+        return (blk, other.start, None)
 
     def _link(self, src: Block, dst: Block, etype: EdgeType) -> Edge:
         rt = self.rt
@@ -385,7 +493,11 @@ class ParallelParser:
         # HALT: block ends, no edges.
 
     def _add_intra_target(self, ctx: _TaskCtx, block: Block, target: int,
-                          etype: EdgeType) -> Block:
+                          etype: EdgeType) -> Block | None:
+        if self._foreign(target):
+            self._defer_frontier(ctx, "intra", block=block, target=target,
+                                 etype=etype)
+            return None
         tb, created = self._ensure_block(target)
         self._link(block, tb, etype)
         ctx.reached.add(target)
@@ -421,6 +533,11 @@ class ParallelParser:
 
     def _direct_branch(self, ctx: _TaskCtx, block: Block,
                        target: int) -> None:
+        if self._foreign(target):
+            # Defer before tail-call classification: the coordinator sees
+            # the merged function map, the shard would mis-classify.
+            self._defer_frontier(ctx, "direct", block=block, target=target)
+            return
         if is_tail_call(target, block,
                         is_known_entry=lambda t: t in self.functions,
                         reached_in_function=lambda t: t in ctx.reached):
@@ -430,6 +547,11 @@ class ParallelParser:
 
     def _cond_branch(self, ctx: _TaskCtx, block: Block,
                      last: Instruction) -> None:
+        if self._foreign(last.direct_target) or self._foreign(last.end):
+            # Either successor is foreign: defer the whole conditional so
+            # both edges are created once, by the coordinator.
+            self._defer_frontier(ctx, "cond", block=block, last=last)
+            return
         target = last.direct_target
         if conditional_branch_is_tail_call(
                 target, is_known_entry=lambda t: t in self.functions):
@@ -454,6 +576,11 @@ class ParallelParser:
                 self._spawn_resume(site)
 
     def _call(self, ctx: _TaskCtx, block: Block, last: Instruction) -> None:
+        if self._foreign(last.direct_target):
+            # Foreign callee: the whole call expansion (function creation,
+            # CALL edge, fall-through deferral) replays at the coordinator.
+            self._defer_frontier(ctx, "call", block=block, last=last)
+            return
         target = last.direct_target
         func, created, seeds = self._make_function(
             target, f"func_{target:x}", via="call")
@@ -532,6 +659,9 @@ class ParallelParser:
         block-ends accessor, which also excludes concurrent splits while
         the edge is attached (invariants 3/4).
         """
+        if self._foreign(site.fallthrough):
+            self._defer_frontier(None, "resume", site=site)
+            return
         call_end = site.block.insns[-1].end if site.block.insns else None
         fb, created = self._ensure_block(site.fallthrough)
         owner = None
@@ -580,7 +710,12 @@ class ParallelParser:
 
             released = self.noreturn.resolve_wave(funcs, summary)
             if not released:
-                self.noreturn.resolve_cycles(funcs)
+                if self._owned is None:
+                    # Fragment mode skips the cycle rule: concluding
+                    # UNSET→NORETURN from a shard-local closure is
+                    # unsound (a RET may live in another shard).  The
+                    # coordinator runs it after the structural merge.
+                    self.noreturn.resolve_cycles(funcs)
                 return
             if self.opts.task_parallel:
                 # Resumed parsing may eagerly release more sites or

@@ -1,0 +1,330 @@
+"""Structural merge of per-shard CFG fragments (procs backend).
+
+The procs backend shards the entry set across worker processes; each
+worker runs the ordinary parallel parser in *fragment mode*
+(:meth:`~repro.core.parallel_parser.ParallelParser.execute_fragment`):
+it owns a contiguous address range ``[lo, hi)``, parses its closure
+normally inside that range, and defers every cross-shard expansion step
+as a flat :class:`~repro.core.parallel_parser.FrontierRecord` instead of
+executing it.  This module is the coordinator side:
+
+1. **Rebuild** each fragment's block/edge graph from its flat pickled
+   records (instructions come from the merged decode cache, so no object
+   graph crosses the process boundary).
+2. **Install** the union into a fresh :class:`ParallelParser`'s maps.
+   Shard ownership makes block starts, functions, jump tables and
+   noreturn records disjoint by construction; block *ends* are the one
+   place shards can disagree (linear overrun past a boundary), so every
+   imported end is re-registered through the parser's real invariant-4
+   split cascade (``_split_collision``), which reconciles the fragments
+   to the serial block set.
+3. **Replay** the frontier records in deterministic (shard, discovery)
+   order through the real parser machinery — tail-call classification,
+   function creation, noreturn deferral and jump-table analysis all run
+   exactly as in a serial parse, just starting from the merged state.
+4. Run the ordinary wave fixed point (including the cycle rule the
+   fragments had to skip) and the ordinary ``finalize`` correction phase.
+
+Correctness rests on the battery-proven schedule independence of the
+invariant machinery: a fragment is a prefix of a valid global schedule
+(all its steps touch only addresses it owns), so completing the union of
+prefixes with the remaining cross-shard work through the same machinery
+reproduces the serial fixed point byte-for-byte — the differential
+battery (``tests/test_differential_backends.py``) pins exactly that.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field, replace
+
+from repro.binary.loader import LoadedBinary
+from repro.core.cfg import (
+    Block,
+    Edge,
+    EdgeType,
+    Function,
+    JumpTableInfo,
+    ParsedCFG,
+    ReturnStatus,
+)
+from repro.core.finalize import finalize
+from repro.core.noreturn import DeferredCallSite
+from repro.core.parallel_parser import (
+    FrontierRecord,
+    ParallelParser,
+    ParseOptions,
+    _TaskCtx,
+)
+from repro.errors import RuntimeConfigError
+from repro.isa.instructions import Instruction
+from repro.runtime.api import Runtime
+
+
+@dataclass
+class CFGFragment:
+    """Pickle-friendly structural export of one shard's fragment parse.
+
+    Everything is flat ints/strings/enums — no :class:`Block`/:class:`Edge`
+    object graph crosses the process boundary (deep linked graphs recurse
+    past pickle limits, and the coordinator rebuilds instructions from the
+    merged decode cache anyway).
+    """
+
+    shard_id: int
+    owned: tuple[int, int]
+    #: (start, end, last_kind, has_teardown) per block
+    blocks: list[tuple] = field(default_factory=list)
+    #: the shard's block-ends map as (end_addr, block_start)
+    ends: list[tuple[int, int]] = field(default_factory=list)
+    #: (src_start, dst_start, etype value) in per-block creation order
+    edges: list[tuple[int, int, str]] = field(default_factory=list)
+    #: (addr, name, entry_start, from_symtab, discovered_via, status value)
+    functions: list[tuple] = field(default_factory=list)
+    jump_tables: list[JumpTableInfo] = field(default_factory=list)
+    #: noreturn table: (addr, status value,
+    #:   [(caller, block_start, fallthrough, callee)], [tail_waiters])
+    noreturn: list[tuple] = field(default_factory=list)
+    #: deferred cross-shard operations, in discovery order
+    frontier: list[FrontierRecord] = field(default_factory=list)
+    #: func addr -> reached block starts (frontier replay task seeds)
+    reached: dict[int, list[int]] = field(default_factory=dict)
+    n_splits: int = 0
+
+
+def export_fragment(parser: ParallelParser, shard_id: int) -> CFGFragment:
+    """Flatten a fragment-mode parser's state for shipping home."""
+    assert parser._owned is not None, "export requires fragment mode"
+    frag = CFGFragment(shard_id=shard_id, owned=parser._owned)
+    for start, b in parser.blocks_by_start.sorted_items():
+        frag.blocks.append((b.start, b.end, b.last_kind, b.has_teardown))
+        for e in b.out_edges:
+            frag.edges.append((e.src.start, e.dst.start, e.etype.value))
+    frag.ends = [(end, b.start)
+                 for end, b in parser.block_ends.sorted_items()]
+    frag.functions = [
+        (f.addr, f.name, f.entry.start, f.from_symtab, f.discovered_via,
+         f.status.value)
+        for _, f in parser.functions.sorted_items()
+    ]
+    frag.jump_tables = [info
+                        for _, info in parser.jump_tables.sorted_items()]
+    frag.noreturn = [
+        (addr, status.value,
+         [(s.caller_addr, s.block.start, s.fallthrough, s.callee_addr)
+          for s in waiters],
+         list(tail_waiters))
+        for addr, status, waiters, tail_waiters
+        in parser.noreturn.dump_state()
+    ]
+    frag.frontier = list(parser._frontier)
+    reached: dict[int, set[int]] = {}
+    for ctx in parser._frontier_ctxs:
+        if ctx is not None:
+            reached.setdefault(ctx.func.addr, set()).update(ctx.reached)
+    frag.reached = {addr: sorted(starts)
+                    for addr, starts in reached.items()}
+    frag.n_splits = parser.stats.n_splits
+    return frag
+
+
+def merge_fragments(binary: LoadedBinary, rt: Runtime,
+                    options: ParseOptions | None,
+                    fragments: list[CFGFragment],
+                    warm_cache: dict[int, Instruction]) -> ParsedCFG:
+    """Stitch shard fragments into the serial fixed point.
+
+    Must be called inside ``rt.run`` on the coordinator runtime.
+    """
+    opts = replace(options or ParseOptions(), thread_local_cache=True)
+    parser = ParallelParser(binary, rt, opts, warm_cache=warm_cache)
+    m = rt.metrics
+    frags = sorted(fragments, key=lambda f: f.shard_id)
+
+    with rt.phase("cfg_merge"):
+        t0 = time.perf_counter_ns()
+        blocks: dict[int, Block] = {}
+        n_edges = 0
+        for frag in frags:
+            n_edges += _rebuild_fragment_graph(frag, warm_cache, blocks)
+        parser.blocks_by_start.install_many(sorted(blocks.items()))
+
+        funcs: dict[int, Function] = {}
+        for frag in frags:
+            for addr, name, entry_start, from_symtab, via, status \
+                    in frag.functions:
+                func = Function(addr, name, blocks[entry_start],
+                                from_symtab=from_symtab,
+                                discovered_via=via)
+                func.status = ReturnStatus(status)
+                funcs[addr] = func
+        parser.functions.install_many(sorted(funcs.items()))
+
+        jts: dict[int, JumpTableInfo] = {}
+        for frag in frags:
+            for info in frag.jump_tables:
+                jts[info.block_start] = info
+        parser.jump_tables.install_many(sorted(jts.items()))
+
+        for frag in frags:
+            for addr, status, waiters, tails in frag.noreturn:
+                sites = [DeferredCallSite(caller_addr=c, block=blocks[bs],
+                                          fallthrough=ft, callee_addr=ce)
+                         for c, bs, ft, ce in waiters]
+                parser.noreturn.seed_state(addr, ReturnStatus(status),
+                                           sites, tails)
+
+        # Cross-shard block-end reconciliation: re-register every imported
+        # end through the real invariant-4 cascade.  Where shards disagree
+        # (one shard's linear overrun straddles another's blocks), the
+        # cascade splits exactly as concurrent registration would have.
+        splits_before = parser.stats.n_splits
+        for frag in frags:
+            for end_addr, bstart in frag.ends:
+                _install_end(parser, blocks[bstart], end_addr)
+        end_splits = parser.stats.n_splits - splits_before
+        parser.stats.n_splits += sum(f.n_splits for f in frags)
+        if m.enabled:
+            m.inc("procs.merge.blocks", len(blocks))
+            m.inc("procs.merge.edges", n_edges)
+            m.inc("procs.merge.functions", len(funcs))
+            m.inc("procs.merge.end_splits", end_splits)
+            m.observe("procs.merge.wall_ns", time.perf_counter_ns() - t0)
+
+    with rt.phase("cfg_frontier"):
+        t1 = time.perf_counter_ns()
+        n_records = sum(len(f.frontier) for f in frags)
+        _replay_frontier(parser, frags, blocks, warm_cache)
+        parser._noreturn_waves()
+        if m.enabled:
+            m.inc("procs.frontier.records", n_records)
+            m.observe("procs.frontier.replay_wall_ns",
+                      time.perf_counter_ns() - t1)
+
+    with rt.phase("cfg_finalize"):
+        return finalize(parser)
+
+
+def _rebuild_fragment_graph(frag: CFGFragment,
+                            insns: dict[int, Instruction],
+                            blocks: dict[int, Block]) -> int:
+    """Rebuild one fragment's blocks and intra-fragment edges.
+
+    Instructions are resolved from the merged decode cache (complete: a
+    worker's cache covers every block it exported, including bytes later
+    truncated away by splits).  Returns the number of edges rebuilt.
+    """
+    for start, end, last_kind, has_teardown in frag.blocks:
+        if start in blocks:
+            raise RuntimeConfigError(
+                f"shard ownership violated: block {start:#x} exported by "
+                f"shard {frag.shard_id} and an earlier shard")
+        b = Block(start)
+        b.end = end
+        b.last_kind = last_kind
+        b.has_teardown = has_teardown
+        if end is not None and end > start:
+            addr = start
+            seq = []
+            while addr < end:
+                insn = insns.get(addr)
+                if insn is None:
+                    break
+                seq.append(insn)
+                addr = insn.end
+            b.insns = seq
+        blocks[start] = b
+    for src, dst, etype in frag.edges:
+        edge = Edge(blocks[src], blocks[dst], EdgeType(etype))
+        blocks[src].out_edges.append(edge)
+        blocks[dst].in_edges.append(edge)
+    return len(frag.edges)
+
+
+def _install_end(parser: ParallelParser, block: Block, end: int) -> None:
+    """Register an imported block end, cascading splits on collision.
+
+    Mirrors ``_register_end``'s loop minus edge creation (the owning
+    shard already created this end's edges; losers in the cascade carry
+    theirs along exactly as invariant 4 moves them).
+    """
+    pending: tuple[Block, int] | None = (block, end)
+    while pending is not None:
+        blk, e = pending
+        pending = None
+        with parser.block_ends.accessor(e) as acc:
+            if acc.created:
+                acc.value = blk
+                blk.end = e
+                continue
+            if acc.value is blk:
+                continue
+            nxt_blk, nxt_end, _ = parser._split_collision(blk, e, acc)
+            pending = (nxt_blk, nxt_end)
+
+
+def _replay_frontier(parser: ParallelParser, frags: list[CFGFragment],
+                     blocks: dict[int, Block],
+                     warm: dict[int, Instruction]) -> None:
+    """Replay deferred cross-shard steps through the real machinery.
+
+    One coordinator task context per (shard, function): seeded with the
+    shard task's final reached set, so tail-call classification and
+    shared-region scans observe at least what the shard task had.  The
+    source block of each record is the *current* owner of the end address
+    registered at record time — splits during the merge or earlier
+    replays move edges to the owner, exactly as in a live parse.
+    """
+    rt = parser.rt
+    group = rt.task_group() if parser.opts.task_parallel else None
+    parser._group = group
+    ctxs: dict[tuple[int, int], _TaskCtx] = {}
+    try:
+        for frag in frags:
+            for rec in frag.frontier:
+                if rec.kind == "resume":
+                    c, bs, ft, ce = rec.site
+                    parser._resume_call_ft(DeferredCallSite(
+                        caller_addr=c, block=blocks[bs],
+                        fallthrough=ft, callee_addr=ce))
+                    continue
+                key = (frag.shard_id, rec.func_addr)
+                ctx = ctxs.get(key)
+                if ctx is None:
+                    func = parser.functions.get(rec.func_addr)
+                    assert func is not None, (
+                        f"frontier record for unknown function "
+                        f"{rec.func_addr:#x}")
+                    ctx = _TaskCtx(func=func)
+                    ctx.reached.update(frag.reached.get(rec.func_addr, ()))
+                    ctx.reached.add(rec.func_addr)
+                    ctxs[key] = ctx
+                if rec.kind == "end":
+                    parser._register_end(ctx, blocks[rec.block_start],
+                                         rec.end_addr,
+                                         warm[rec.last_addr])
+                else:
+                    src = parser.block_ends.get(rec.end_addr)
+                    if src is None:
+                        src = blocks[rec.block_start]
+                    if rec.kind == "direct":
+                        parser._direct_branch(ctx, src, rec.target)
+                    elif rec.kind == "cond":
+                        parser._cond_branch(ctx, src, warm[rec.last_addr])
+                    elif rec.kind == "call":
+                        parser._call(ctx, src, warm[rec.last_addr])
+                    else:  # intra
+                        parser._add_intra_target(ctx, src, rec.target,
+                                                 EdgeType(rec.etype))
+                parser._drain(ctx)
+        if group is not None:
+            group.wait()
+        else:
+            current = parser._round_discovered
+            while current:
+                parser._round_discovered = []
+                rt.parallel_for(
+                    current, lambda fs: parser._traverse_task(fs[0], fs[1]))
+                current = parser._round_discovered
+    finally:
+        parser._group = None

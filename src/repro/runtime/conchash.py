@@ -166,6 +166,34 @@ class ConcurrentHashMap(Generic[K, V]):
         finally:
             entry.lock.release()
 
+    def install_many(self, items: Iterator[tuple[K, V]] | list[tuple[K, V]]
+                     ) -> int:
+        """Bulk insert-if-absent for single-writer phases (the procs
+        backend's structural merge installs whole shard fragments before
+        any traversal task runs).  Skips entry-lock and shard-lock traffic
+        but charges one map operation per item so accounted work matches
+        per-item ``insert``.  Returns the number of entries created."""
+        rt = self._rt
+        n_seen = 0
+        n_created = 0
+        for key, value in items:
+            n_seen += 1
+            shard = self._shards[self._shard_of(key)]
+            entry = shard.get(key)
+            if entry is not None and entry.value is not _MISSING:
+                continue
+            entry = _Entry(rt.make_lock())
+            entry.value = value
+            shard[key] = entry
+            n_created += 1
+        rt.charge(rt.cost.map_op * n_seen)
+        rt.checkpoint()
+        if self._m.enabled and n_seen:
+            self._m.inc(f"map.{self._mname}.ops", n_seen)
+            if n_created:
+                self._m.inc(f"map.{self._mname}.created", n_created)
+        return n_created
+
     # -- unsynchronized operations (single-writer or read-only phases) --------
 
     def get(self, key: K, default: Any = None) -> V | Any:

@@ -18,7 +18,9 @@ Design constraints:
 - **Backend-relative time.**  Histogram values produced by timers and
   park-time measurements come from the owning backend's clock: virtual
   cycles on ``vtime``/``serial``, wall nanoseconds on ``threads``.
-  The registry's ``time_unit`` names the unit in exports.
+  The registry's ``time_unit`` names the unit in exports.  Series that
+  are *always* wall-clock regardless of the unit say so in their name
+  (the procs backend's ``*_wall_ns`` fan-out/merge/replay histograms).
 - **Cheap opt-out.**  Construct a runtime with ``enable_metrics=False``
   and ``rt.metrics`` is the shared :data:`NULL_METRICS` no-op, so
   instrumented call sites cost one attribute read and a predictable

@@ -3,52 +3,73 @@
 The ``threads`` backend proves the algorithm race-free but cannot show
 real wall-clock scaling under CPython's GIL.  This backend gets genuine
 hardware parallelism from ``multiprocessing``: a pool of worker
-*processes* executes batched parse tasks over sharded binary regions,
-and a merge step on the coordinator re-derives the exact serial fixed
-point from the workers' deltas.
+*processes* parses disjoint shards of the binary, and the coordinator
+stitches the resulting CFG *fragments* into the exact serial fixed
+point with a structural merge — no work is replayed except the
+cross-shard steps the workers could not perform.
 
 Execution model
 ---------------
-1. **Shard** — the binary's candidate entry addresses (``F0``) are
-   split into contiguous address regions, one batch per worker
-   (:func:`shard_regions`).  Contiguity keeps each worker's decode
-   working set local, mirroring the paper's Section 6.4 cache story.
-2. **Speculative expansion (parallel)** — each worker process rebuilds
-   the binary from the pickled image bytes (sent once per worker via
-   the pool initializer), then runs the ordinary serial parser seeded
-   with its shard's entries.  This performs the expansion-phase
-   operations (``O_BER``/``O_DEC``/…) for the shard's call closure and
-   fills a per-worker decode cache — the process analogue of the
-   thread-local instruction cache of Section 6.4.
-3. **Merge (coordinator)** — each worker returns a pickling-friendly
-   :class:`ShardDelta`: the functions it discovered, its decode cache,
-   parse statistics and a metrics snapshot.  The coordinator unions the
-   decode caches and replays them through the *existing*
-   expansion/correction machinery (:class:`ParallelParser` on the
-   coordinator's serial scheduler, warm-started with the merged cache).
-   Because the replay is exactly the deterministic serial algorithm —
-   the cache only removes redundant decoding, never changes a decoded
-   instruction — the final graph equals the serial fixed point
-   byte-for-byte (the differential battery pins this down).
+1. **Shard + claim** — the binary's candidate entry addresses (``F0``)
+   are split into contiguous regions balanced by estimated byte size
+   (:func:`shard_regions`), and the regions' bounds partition the whole
+   address space into ownership claims: shard *i* owns
+   ``[first_entry_i, first_entry_{i+1})`` (the first claim is extended
+   down to 0, the last up to the address ceiling).  Contiguity keeps
+   each worker's decode working set local, mirroring the paper's
+   Section 6.4 cache story.
+2. **Fragment parse (parallel)** — shard tasks are dispatched to a
+   long-lived worker pool shared by every :class:`ProcsRuntime` in the
+   process (pool creation dwarfs a dispatch round, so the pool is only
+   rebuilt when its start method or size changes, and is sized to the
+   cores actually available).  Each worker rebuilds the binary from the
+   pickled image bytes shipped with the task — cached per parse token,
+   so only the first task to reach a worker pays the rebuild — then
+   runs the ordinary parallel parser in
+   *fragment mode*: expansion proceeds normally inside the shard's
+   claim, while every step that would touch a foreign address — direct
+   or conditional branches out of the region, calls to foreign callees,
+   released fall-throughs into another shard, linear overrun past the
+   boundary — is recorded as a flat
+   :class:`~repro.core.parallel_parser.FrontierRecord` instead of
+   executed.  The claim protocol is what makes fan-out cheap: a shard
+   never re-parses another shard's call closure.
+3. **Structural merge (coordinator)** — each worker returns a
+   pickle-friendly :class:`ShardDelta` carrying its
+   :class:`~repro.core.shard_merge.CFGFragment` (flat block, edge,
+   function, jump-table and noreturn records) plus its decode cache.
+   The coordinator (:func:`repro.core.shard_merge.merge_fragments`)
+   rebuilds and installs the union of the fragments — block starts,
+   functions and noreturn records are disjoint by ownership; block
+   *ends* are reconciled through the real invariant-4 split cascade
+   where shards disagree — then replays only the frontier records
+   through the ordinary parser machinery, runs the wave fixed point
+   (including the cycle rule fragments must skip) and the ordinary
+   ``finalize`` correction phase.  Schedule independence of the
+   invariant machinery (battery-proven) makes the result equal the
+   serial fixed point byte-for-byte.
 
 Shared CFG state never crosses a process boundary mid-construction:
 cross-shard block splits, noreturn waves and tail-call correction all
-happen in the merge replay, where the five invariants hold trivially
+happen on the coordinator, where the five invariants hold trivially
 (single writer).  What parallelizes is the dominant decode + traversal
-work; what stays serial is the correction phase — the same split the
-paper's finalization phase makes.
+work; what stays serial is boundary reconciliation plus the correction
+phase — the same split the paper's finalization phase makes.
 
 ``makespan`` reports wall-clock seconds covering the shard fan-out and
-the merge replay, making this the backend for real-parallelism columns
-in the benchmark harness.  Worker metrics are merged into the
-coordinator registry under a ``workers.`` prefix; the fan-out itself is
-observable via the ``procs.*`` metrics (catalog:
+the merge, making this the backend for real-parallelism columns in the
+benchmark harness.  Worker metrics are merged into the coordinator
+registry under a ``workers.`` prefix; the fan-out, merge and frontier
+replay are observable via the ``procs.*`` metrics (catalog:
 ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
 
+import atexit
+import itertools
 import multiprocessing
+import os
 import time
 from dataclasses import dataclass, field, replace
 from typing import Any
@@ -56,21 +77,41 @@ from typing import Any
 from repro.errors import RuntimeConfigError
 from repro.runtime.serial import SerialRuntime
 
-#: Per-process worker state installed by :func:`_worker_init`.
-_WORKER: dict[str, Any] | None = None
+#: Worker-side cache of binaries rebuilt from payload image bytes,
+#: keyed by the coordinator's payload token (one token per parse).
+_WORKER_BINARIES: dict[int, Any] = {}
+
+#: Coordinator-side token source: a fresh token per sharded parse keys
+#: the worker caches so a reused pool never mixes up binaries.
+_PAYLOAD_TOKENS = itertools.count(1)
+
+#: The cached worker pool shared by all :class:`ProcsRuntime` instances
+#: in this process.  Pool creation (fork + bootstrap) costs an order of
+#: magnitude more than dispatching a round of shard tasks, so the pool
+#: outlives individual parses and is only recreated when the requested
+#: start method or size changes.  Any pool error discards it.
+_POOL: Any | None = None
+_POOL_KEY: tuple[str, int] | None = None
+
+#: Upper bound of the last shard's ownership claim: the claims partition
+#: ``[0, ADDRESS_CEILING)`` so every address has exactly one owner.
+ADDRESS_CEILING = 1 << 63
 
 
 @dataclass(frozen=True)
 class ShardTask:
-    """One batched parse task: a contiguous region of entry addresses.
+    """One batched parse task: a contiguous region of entry addresses
+    plus the shard's ownership claim ``[owned_lo, owned_hi)``.
 
     Deliberately plain data (ints only) so payloads pickle cheaply; the
-    binary itself travels once per worker via the pool initializer, not
-    once per task.
+    binary travels alongside as image bytes and is rebuilt at most once
+    per worker per parse (cached by payload token).
     """
 
     shard_id: int
     seeds: tuple[int, ...]
+    owned_lo: int = 0
+    owned_hi: int = ADDRESS_CEILING
 
     @property
     def lo(self) -> int:
@@ -90,87 +131,135 @@ class ShardDelta:
     entries: list[tuple[int, str, str]] = field(default_factory=list)
     #: the worker's decode cache: addr -> decoded Instruction
     insns: dict[int, Any] = field(default_factory=dict)
-    #: (functions, blocks, edges) of the worker-local parse
+    #: (functions, blocks, edges) of the worker-local fragment
     counts: tuple[int, int, int] = (0, 0, 0)
     #: worker registry snapshot (``repro.metrics/1``), or None
     metrics: dict | None = None
     #: traceback text if the shard failed (re-raised by the coordinator)
     error: str | None = None
+    #: the structural export the coordinator merges
+    #: (:class:`repro.core.shard_merge.CFGFragment`)
+    fragment: Any | None = None
 
 
 def shard_regions(entries: list[int], n_shards: int
                   ) -> list[tuple[int, ...]]:
-    """Split sorted entry addresses into contiguous, balanced regions.
+    """Split sorted entry addresses into contiguous regions balanced by
+    estimated byte size.
 
-    Returns at most ``n_shards`` non-empty tuples; address order is
-    preserved so each shard covers one contiguous slice of the text
-    region (locality for the worker's decode cache).
+    Each shard's parse cost tracks the bytes it decodes, not how many
+    entries it was seeded with — a shard of three huge functions can
+    dwarf one with fifty stubs.  The split therefore walks the sorted
+    entries greedily, giving each shard an even share of the remaining
+    address *span* (``hi - lo`` as the byte-size estimate) while leaving
+    at least one entry per remaining shard.  Returns at most
+    ``n_shards`` non-empty tuples; address order is preserved so each
+    shard covers one contiguous slice of the text region (locality for
+    the worker's decode cache, and the contiguity the ownership claims
+    rely on).
     """
     ent = sorted(entries)
     if not ent:
         return []
     n = max(1, min(n_shards, len(ent)))
-    base, extra = divmod(len(ent), n)
     out: list[tuple[int, ...]] = []
     idx = 0
     for i in range(n):
-        size = base + (1 if i < extra else 0)
-        if size:
-            out.append(tuple(ent[idx:idx + size]))
-        idx += size
+        remaining = n - i
+        if remaining == 1:
+            out.append(tuple(ent[idx:]))
+            break
+        # Even split of the remaining byte span across remaining shards.
+        target = ent[idx] + (ent[-1] - ent[idx]) / remaining
+        j = idx + 1
+        max_j = len(ent) - (remaining - 1)
+        while j < max_j and ent[j] < target:
+            j += 1
+        out.append(tuple(ent[idx:j]))
+        idx = j
     return out
 
 
 def _run_shard(binary, options, task: ShardTask,
                enable_metrics: bool) -> ShardDelta:
-    """Parse one shard on a private serial runtime; used by both the
-    pool workers and the in-process fallback."""
+    """Parse one shard fragment on a private serial runtime; used by
+    both the pool workers and the in-process fallback."""
     from repro.core.parallel_parser import ParallelParser
+    from repro.core.shard_merge import export_fragment
 
-    # The delta *is* the decode cache, so force it on for the shard.
+    # The decode cache is part of the delta, so force it on.
     opts = replace(options, thread_local_cache=True)
     rt = SerialRuntime(enable_metrics=enable_metrics)
     parser = ParallelParser(binary, rt, opts,
-                            seed_entries=list(task.seeds))
-    cfg = rt.run(parser.execute)
-    s = cfg.stats
+                            seed_entries=list(task.seeds),
+                            owned_range=(task.owned_lo, task.owned_hi))
+    rt.run(parser.execute_fragment)
+    frag = export_fragment(parser, task.shard_id)
     return ShardDelta(
         shard_id=task.shard_id,
-        entries=[(f.addr, f.name, f.discovered_via)
-                 for f in cfg.functions()],
+        entries=[(addr, name, via)
+                 for addr, name, _entry, _sym, via, _status
+                 in frag.functions],
         insns=dict(parser.local_decode_cache()),
-        counts=(s.n_functions, s.n_blocks, s.n_edges),
+        counts=(len(frag.functions), len(frag.blocks), len(frag.edges)),
         metrics=rt.metrics.snapshot() if enable_metrics else None,
+        fragment=frag,
     )
 
 
-def _worker_init(image_bytes: bytes, options, enable_metrics: bool) -> None:
-    """Pool initializer: rebuild the binary once per worker process."""
-    from repro.binary.loader import load_image
-
-    global _WORKER
-    _WORKER = {
-        "binary": load_image(image_bytes),
-        "options": options,
-        "enable_metrics": enable_metrics,
-    }
-
-
-def _parse_shard(task: ShardTask) -> ShardDelta:
+def _parse_shard(payload: tuple) -> ShardDelta:
     """Pool task: run one shard in this worker process.
+
+    The payload carries the pickled image bytes alongside the task so a
+    long-lived pool needs no per-binary initializer; the rebuilt binary
+    is cached per payload token, so only the first task of a parse to
+    reach each worker pays the rebuild.
 
     Failures are returned as data (not raised) so one bad shard cannot
     poison the pool; the coordinator re-raises with context.
     """
-    assert _WORKER is not None, "pool initializer did not run"
+    token, image_bytes, options, enable_metrics, task = payload
     try:
-        return _run_shard(_WORKER["binary"], _WORKER["options"], task,
-                          _WORKER["enable_metrics"])
+        binary = _WORKER_BINARIES.get(token)
+        if binary is None:
+            from repro.binary.loader import load_image
+
+            if len(_WORKER_BINARIES) >= 8:
+                _WORKER_BINARIES.clear()
+            binary = _WORKER_BINARIES[token] = load_image(image_bytes)
+        return _run_shard(binary, options, task, enable_metrics)
     except Exception:  # pragma: no cover - exercised via error delta test
         import traceback
 
         return ShardDelta(shard_id=task.shard_id,
                           error=traceback.format_exc())
+
+
+def _shared_pool(ctx, processes: int):
+    """Return the cached worker pool, recreating it on a config change."""
+    global _POOL, _POOL_KEY
+    key = (ctx.get_start_method(), processes)
+    if _POOL is not None and _POOL_KEY == key:
+        return _POOL
+    shutdown_pool()
+    _POOL = ctx.Pool(processes=processes)
+    _POOL_KEY = key
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    """Discard the cached worker pool (also safe when none exists)."""
+    global _POOL, _POOL_KEY
+    if _POOL is not None:
+        _POOL.terminate()
+        _POOL.join()
+    _POOL = None
+    _POOL_KEY = None
+
+
+# Tear the pool down before interpreter shutdown dismantles the modules
+# its finalizer needs (a GC'd Pool tries to message its workers).
+atexit.register(shutdown_pool)
 
 
 class ProcsRuntime(SerialRuntime):
@@ -225,19 +314,25 @@ class ProcsRuntime(SerialRuntime):
     # -- sharded CFG construction ------------------------------------------------
 
     def sharded_parse(self, binary, options=None):
-        """Parse ``binary`` with the shard/merge pipeline (module doc).
+        """Parse ``binary`` with the fragment/merge pipeline (module doc).
 
         ``parse_binary`` calls this automatically when handed a
         :class:`ProcsRuntime`; the signature of the result is identical
         to a serial parse of the same binary.
         """
-        from repro.core.parallel_parser import ParallelParser, ParseOptions
+        from repro.core.parallel_parser import ParseOptions
+        from repro.core.shard_merge import merge_fragments
 
         opts = options or ParseOptions()
         self._t0 = time.perf_counter()
         m = self.metrics
         shards = shard_regions(binary.entry_addresses(), self.num_workers)
-        tasks = [ShardTask(i, seeds) for i, seeds in enumerate(shards)]
+        tasks = []
+        for i, seeds in enumerate(shards):
+            lo = 0 if i == 0 else seeds[0]
+            hi = (shards[i + 1][0] if i + 1 < len(shards)
+                  else ADDRESS_CEILING)
+            tasks.append(ShardTask(i, seeds, lo, hi))
 
         t_pool = time.perf_counter_ns()
         deltas = self._map_shards(binary, opts, tasks)
@@ -247,11 +342,16 @@ class ProcsRuntime(SerialRuntime):
         self.shard_deltas = deltas
 
         warm: dict[int, Any] = {}
+        fragments = []
+        shard_insns_total = 0
         for d in sorted(deltas, key=lambda d: d.shard_id):
             if d.error is not None:
                 raise RuntimeConfigError(
                     f"shard {d.shard_id} failed:\n{d.error}")
+            shard_insns_total += len(d.insns)
             warm.update(d.insns)
+            if d.fragment is not None:
+                fragments.append(d.fragment)
             if m.enabled:
                 m.inc("procs.shard_functions", d.counts[0])
                 m.inc("procs.shard_insns_decoded", len(d.insns))
@@ -260,9 +360,13 @@ class ProcsRuntime(SerialRuntime):
         if m.enabled:
             m.inc("procs.shards", len(tasks))
             m.inc("procs.merged_cache_insns", len(warm))
+            # Cross-shard redundancy: instructions decoded by more than
+            # one worker (ownership keeps this low; it is not zero, since
+            # linear overrun and frontier-adjacent code decode twice).
+            m.inc("procs.duplicate_insns", shard_insns_total - len(warm))
 
-        parser = ParallelParser(binary, self, opts, warm_cache=warm)
-        return self.run(parser.execute)
+        return self.run(lambda: merge_fragments(binary, self, opts,
+                                                fragments, warm))
 
     # -- pool plumbing -------------------------------------------------------------
 
@@ -273,18 +377,26 @@ class ProcsRuntime(SerialRuntime):
         try:
             ctx = (multiprocessing.get_context(self.start_method)
                    if self.start_method else multiprocessing.get_context())
-            with ctx.Pool(
-                processes=min(self.num_workers, len(tasks)),
-                initializer=_worker_init,
-                initargs=(binary.image.to_bytes(), opts,
-                          self.metrics.enabled),
-            ) as pool:
-                return pool.map(_parse_shard, tasks)
+            # More worker processes than hardware threads cannot run in
+            # parallel; they only add fork, scheduling and IPC overhead,
+            # so the pool is capped at the cores this process may use.
+            try:
+                cores = len(os.sched_getaffinity(0))
+            except AttributeError:  # pragma: no cover - non-Linux
+                cores = os.cpu_count() or 1
+            procs = max(1, min(self.num_workers, len(tasks), cores))
+            pool = _shared_pool(ctx, procs)
+            token = next(_PAYLOAD_TOKENS)
+            image_bytes = binary.image.to_bytes()
+            payloads = [(token, image_bytes, opts, self.metrics.enabled, t)
+                        for t in tasks]
+            return pool.map(_parse_shard, payloads)
         except Exception:
             # No usable pool (sandboxed semaphores, missing start
             # method, pickling restrictions): degrade to in-process
-            # shards — same code path, no parallelism, observable via
-            # the fallback counter.
+            # shards — same code path including the structural merge,
+            # no parallelism, observable via the fallback counter.
+            shutdown_pool()
             self.metrics.inc("procs.pool_fallback")
             return self._map_inline(binary, opts, tasks)
 

@@ -25,6 +25,15 @@ from repro.runtime.metrics import METRICS_SCHEMA
 #: Version identifier of the exported run-report JSON document.
 REPORT_SCHEMA = "repro.run-report/1"
 
+#: Version identifier of the procs-parallelism benchmark sidecar.  Rev 2
+#: added the per-row ``speedup`` column (``serial_wall_s /
+#: procs_wall_s``); rev 1 documents remain valid and are still accepted
+#: by :func:`validate_bench_procs`.
+BENCH_PROCS_SCHEMA = "repro.bench-procs/2"
+
+#: Older sidecar revisions the validator still accepts.
+_BENCH_PROCS_ACCEPTED = ("repro.bench-procs/1", BENCH_PROCS_SCHEMA)
+
 _GLYPHS = " .:-=+*#%@"
 
 
@@ -179,6 +188,72 @@ def run_report(rt: Any, workload: str | None = None) -> dict:
         "metrics": rt.metrics.snapshot() if rt.metrics.enabled else None,
         "trace": trace_to_json(rt.trace) if rt.trace is not None else None,
     }
+
+
+def validate_bench_procs(obj: Any) -> list[str]:
+    """Check a procs-parallelism benchmark sidecar against its schema.
+
+    Accepts both ``repro.bench-procs/1`` and ``repro.bench-procs/2``
+    documents; the per-row ``speedup`` column (serial wall seconds over
+    procs wall seconds) is required from rev 2 on.  Returns a list of
+    human-readable problems; empty means valid.
+    """
+    errs: list[str] = []
+
+    def expect(cond: bool, msg: str) -> bool:
+        if not cond:
+            errs.append(msg)
+        return cond
+
+    if not expect(isinstance(obj, dict), "sidecar is not an object"):
+        return errs
+    schema = obj.get("schema")
+    if not expect(schema in _BENCH_PROCS_ACCEPTED,
+                  f"schema is {schema!r}, want one of "
+                  f"{_BENCH_PROCS_ACCEPTED!r}"):
+        return errs
+    rev2 = schema == BENCH_PROCS_SCHEMA
+    expect(isinstance(obj.get("scale"), (int, float))
+           and not isinstance(obj.get("scale"), bool)
+           and obj.get("scale", 0) > 0, "scale must be a positive number")
+    expect(isinstance(obj.get("workers"), int)
+           and obj.get("workers", 0) >= 1, "workers must be an int >= 1")
+    rows = obj.get("rows")
+    if not expect(isinstance(rows, list) and rows,
+                  "rows must be a non-empty list"):
+        return errs
+    numeric = ["serial_wall_s", "procs_wall_s", "fanout_wall_s"]
+    counters = ["shards", "pool_fallback", "merged_cache_insns"]
+    if rev2:
+        numeric.append("speedup")
+        counters.append("duplicate_insns")
+    for i, row in enumerate(rows):
+        if not expect(isinstance(row, dict), f"row[{i}] must be an object"):
+            continue
+        expect(isinstance(row.get("binary"), str),
+               f"row[{i}]: binary must be a string")
+        expect(isinstance(row.get("workers"), int)
+               and row.get("workers", 0) >= 1,
+               f"row[{i}]: workers must be an int >= 1")
+        for col in numeric:
+            v = row.get(col)
+            expect(isinstance(v, (int, float)) and not isinstance(v, bool)
+                   and v >= 0,
+                   f"row[{i}]: {col} must be a non-negative number")
+        for col in counters:
+            v = row.get(col)
+            expect(isinstance(v, int) and not isinstance(v, bool)
+                   and v >= 0,
+                   f"row[{i}]: {col} must be an int >= 0")
+        if rev2:
+            s, p, spd = (row.get("serial_wall_s"), row.get("procs_wall_s"),
+                         row.get("speedup"))
+            if all(isinstance(x, (int, float)) and not isinstance(x, bool)
+                   for x in (s, p, spd)) and p > 0:
+                expect(abs(spd - s / p) <= max(1e-9, 0.01 * spd),
+                       f"row[{i}]: speedup {spd} inconsistent with "
+                       f"serial_wall_s/procs_wall_s = {s / p}")
+    return errs
 
 
 def validate_report(obj: Any) -> list[str]:

@@ -23,6 +23,22 @@ class TestShardRegions:
         assert len(shards) == 8
         assert max(sizes) - min(sizes) <= 1
 
+    def test_skewed_corpus_balances_byte_span_not_count(self):
+        # 64 tiny stubs packed at the bottom, two huge functions above:
+        # a count-split would hand one shard 33 stubs and the other 31
+        # stubs plus both giants.  The byte-span split puts every stub
+        # in shard 0 and both giants in shard 1, so each shard decodes
+        # roughly half the address span.
+        entries = list(range(64)) + [1000, 2000]
+        shards = shard_regions(entries, 2)
+        assert shards == [tuple(range(64)), (1000, 2000)]
+
+    def test_skewed_corpus_leaves_one_entry_per_shard(self):
+        # One giant at the bottom would swallow the whole span target;
+        # the split must still leave a seed for every remaining shard.
+        shards = shard_regions([0, 10_000, 10_001, 10_002], 4)
+        assert shards == [(0,), (10_000,), (10_001,), (10_002,)]
+
     def test_more_shards_than_entries(self):
         shards = shard_regions([1, 2, 3], 16)
         assert shards == [(1,), (2,), (3,)]
@@ -107,6 +123,10 @@ class TestProcsRuntime:
         rt = ProcsRuntime(4)
         assert parse_binary(sb.binary, rt).signature() == want
         assert rt.metrics.counter("procs.pool_fallback") == 1
+        # The degraded path is still the structural fragment merge, not
+        # a serial re-parse: fragments were imported and stitched.
+        assert rt.metrics.counter("procs.merge.blocks") > 0
+        assert rt.metrics.counter("procs.shards") == 4
 
     def test_run_report_backend_and_unit(self):
         rt = ProcsRuntime(2, in_process=True)

@@ -6,12 +6,14 @@ from repro.runtime import SerialRuntime, VirtualTimeRuntime
 from repro.runtime.api import PhaseSpan, Trace, TraceInterval
 from repro.runtime.cost import CostModel
 from repro.runtime.tracefmt import (
+    BENCH_PROCS_SCHEMA,
     render_metrics,
     render_phase_table,
     render_trace,
     run_report,
     trace_from_json,
     trace_to_json,
+    validate_bench_procs,
     validate_report,
 )
 
@@ -196,3 +198,64 @@ class TestJsonExport:
         assert "histogram (cycles)" in out
         assert render_metrics({"counters": {}, "histograms": {}}) == \
             "(no metrics)"
+
+
+class TestBenchProcsValidator:
+    @staticmethod
+    def _sidecar(schema=BENCH_PROCS_SCHEMA):
+        return {
+            "schema": schema,
+            "scale": 0.15,
+            "workers": 4,
+            "rows": [{
+                "binary": "LLNL1-like",
+                "workers": 4,
+                "serial_wall_s": 0.05,
+                "procs_wall_s": 0.2,
+                "speedup": 0.25,
+                "fanout_wall_s": 0.15,
+                "shards": 4,
+                "pool_fallback": 0,
+                "merged_cache_insns": 1000,
+                "duplicate_insns": 12,
+            }],
+        }
+
+    def test_rev2_sidecar_validates(self):
+        doc = self._sidecar()
+        assert validate_bench_procs(doc) == []
+        # Full JSON round trip preserves validity.
+        assert validate_bench_procs(json.loads(json.dumps(doc))) == []
+
+    def test_rev1_still_accepted_without_new_columns(self):
+        doc = self._sidecar(schema="repro.bench-procs/1")
+        del doc["rows"][0]["speedup"]
+        del doc["rows"][0]["duplicate_insns"]
+        assert validate_bench_procs(doc) == []
+
+    def test_rev2_requires_speedup_and_duplicates(self):
+        doc = self._sidecar()
+        del doc["rows"][0]["speedup"]
+        assert any("speedup" in p for p in validate_bench_procs(doc))
+        doc = self._sidecar()
+        del doc["rows"][0]["duplicate_insns"]
+        assert any("duplicate_insns" in p
+                   for p in validate_bench_procs(doc))
+
+    def test_rev2_speedup_must_match_walls(self):
+        doc = self._sidecar()
+        doc["rows"][0]["speedup"] = 3.0  # serial/procs is actually 0.25
+        assert any("inconsistent" in p for p in validate_bench_procs(doc))
+
+    def test_structural_corruption_flagged(self):
+        assert validate_bench_procs("not a dict")
+        assert validate_bench_procs({"schema": "repro.bench-procs/99"})
+        doc = self._sidecar()
+        doc["rows"] = []
+        assert validate_bench_procs(doc)
+        doc = self._sidecar()
+        doc["rows"][0]["shards"] = -1
+        assert any("shards" in p for p in validate_bench_procs(doc))
+        doc = self._sidecar()
+        doc["scale"] = 0
+        assert any("scale" in p for p in validate_bench_procs(doc))

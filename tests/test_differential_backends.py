@@ -60,6 +60,16 @@ def _corpus() -> dict[str, object]:
             seed=29, n_functions=36, pct_switch=0.35,
             max_switch_cases=24, pct_obscured_switch=0.30,
             pct_stack_spill_switch=0.20),
+        # Cross-shard-split bait for the procs merge: many small
+        # functions dense with shared error blocks, tail calls and
+        # switches, so any contiguous shard boundary lands inside a
+        # branch/call cluster — shards overrun each other's claims and
+        # the structural merge must reconcile block ends via the
+        # invariant-4 cascade rather than trusting either fragment.
+        "cross-shard-splits": tiny_binary(
+            seed=47, n_functions=44, n_shared_error_groups=6,
+            shared_group_size=8, pct_error_call=0.25,
+            pct_tail_call=0.20, pct_switch=0.20),
         # Scaled-down evaluation presets (structure, not size).
         "llnl1": llnl1_like(scale=0.02),
         "camellia": camellia_like(scale=0.02),
