@@ -107,6 +107,35 @@ class BinaryImage:
         off = address - s.addr
         return int.from_bytes(s.data[off:off + 8], "little")
 
+    # -- validation -----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Reject malformed section layouts (:class:`ImageFormatError`).
+
+        Loadable sections (``EXEC``/``DATA``) must be non-empty and
+        mutually disjoint: a zero-length ``.text`` has no bytes to
+        decode but would still pass ``has_section`` gates, and
+        overlapping loadable sections make ``section_containing`` /
+        ``read_word`` answer from whichever section happens to come
+        first — silent misparses, not errors.  Metadata sections
+        (``DEBUG_INFO``, unflagged) are exempt: they are keyed by name,
+        never by address, and conventionally all live at address 0.
+        """
+        loadable = [s for s in self.sections.values()
+                    if s.flags & (SectionFlags.EXEC | SectionFlags.DATA)]
+        for s in loadable:
+            if s.size == 0:
+                raise ImageFormatError(
+                    f"zero-length loadable section {s.name}")
+        prev: Section | None = None
+        for s in sorted(loadable, key=lambda s: s.addr):
+            if prev is not None and s.addr < prev.end:
+                raise ImageFormatError(
+                    f"overlapping sections: {prev.name} "
+                    f"[{prev.addr:#x}, {prev.end:#x}) and {s.name} "
+                    f"[{s.addr:#x}, {s.end:#x})")
+            prev = s
+
     # -- statistics (Table 1) ----------------------------------------------------
 
     @property
@@ -153,6 +182,9 @@ class BinaryImage:
             flags = SectionFlags(r.u32())
             data = r.blob()
             img.add_section(Section(name, addr, data, flags))
+        if not r.exhausted:
+            raise ImageFormatError(
+                "trailing bytes after the section table")
         return img
 
     def save(self, path: str) -> None:

@@ -89,12 +89,22 @@ def encode_eh_frame(starts: list[int]) -> bytes:
 
 
 def load_image(source: str | bytes | BinaryImage) -> LoadedBinary:
-    """Load a binary from a path, raw bytes, or an in-memory image."""
+    """Load a binary from a path, raw bytes, or an in-memory image.
+
+    Malformed images — truncated section payloads, trailing garbage,
+    zero-length or overlapping loadable sections — raise
+    :class:`~repro.errors.ImageFormatError` here rather than misparsing
+    later (the procs workers rebuild binaries from shipped bytes, so
+    corruption must surface at the load boundary).
+    """
     if isinstance(source, BinaryImage):
-        return LoadedBinary(source)
-    if isinstance(source, bytes):
-        return LoadedBinary(BinaryImage.from_bytes(source))
-    return LoadedBinary(BinaryImage.load(source))
+        image = source
+    elif isinstance(source, bytes):
+        image = BinaryImage.from_bytes(source)
+    else:
+        image = BinaryImage.load(source)
+    image.validate()
+    return LoadedBinary(image)
 
 
 def save_image(image: BinaryImage, path: str) -> None:

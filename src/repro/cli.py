@@ -62,11 +62,34 @@ def _add_runtime_args(p: argparse.ArgumentParser) -> None:
                    help="workload scale factor for presets")
     p.add_argument("--no-metrics", action="store_true",
                    help="opt out of structured metrics collection")
+    p.add_argument("--shard-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="procs only: per-shard deadline for one pool "
+                        "attempt (0 disables the deadline)")
+    p.add_argument("--max-retries", type=int, default=None, metavar="N",
+                   help="procs only: pool re-dispatches per shard before "
+                        "inline re-execution")
+    p.add_argument("--fault-plan", type=str, default=None, metavar="SPEC",
+                   help="procs only: deterministic fault-injection plan, "
+                        "e.g. 'exc@1x1,delay@0=2' "
+                        "(grammar in docs/ROBUSTNESS.md; also read from "
+                        "the REPRO_FAULT_PLAN environment variable)")
 
 
 def _make_rt(args, **kw):
     n = 1 if args.runtime == "serial" else args.workers
     kw.setdefault("enable_metrics", not getattr(args, "no_metrics", False))
+    if args.runtime == "procs":
+        if getattr(args, "shard_deadline", None) is not None:
+            kw.setdefault("shard_deadline",
+                          args.shard_deadline if args.shard_deadline > 0
+                          else None)
+        if getattr(args, "max_retries", None) is not None:
+            kw.setdefault("max_retries", args.max_retries)
+        if getattr(args, "fault_plan", None) is not None:
+            from repro.runtime.faults import FaultPlan
+            kw.setdefault("fault_plan",
+                          FaultPlan.from_spec(args.fault_plan))
     return make_runtime(args.runtime, n, **kw)
 
 
@@ -135,6 +158,12 @@ def cmd_parse(args) -> int:
                 rt.metrics.counter("procs.merge.end_splits"),
             "frontier_records":
                 rt.metrics.counter("procs.frontier.records"),
+            "shard_timeouts": rt.metrics.counter("procs.shard_timeout"),
+            "retries": (rt.metrics.counter("procs.retry.dispatch")
+                        + rt.metrics.counter("procs.retry.inline")),
+            "pool_respawns": rt.metrics.counter("procs.pool_respawn"),
+            "degraded_to": rt.degradation["level"],
+            "fault_events": len(rt.fault_events),
         }
     print(json.dumps(out, indent=2))
     return 0

@@ -29,6 +29,7 @@ from __future__ import annotations
 
 import threading
 from dataclasses import dataclass, field
+from typing import Any
 
 from repro.binary.loader import LoadedBinary
 from repro.core.cfg import (
@@ -69,6 +70,10 @@ class ParseOptions:
     thread_local_cache: bool = True
     jt_options: JumpTableOptions = field(default_factory=JumpTableOptions)
     max_waves: int = 60
+    #: fault-injection probe bound to (shard, attempt) — set per shard
+    #: attempt by the procs backend, never by callers
+    #: (:class:`repro.runtime.faults.FaultProbe`; None = no injection).
+    fault_probe: Any = None
 
 
 @dataclass
@@ -184,6 +189,11 @@ class ParallelParser:
         rt = self.rt
         with rt.phase("cfg_init"):
             initial = self._init_functions()
+        if self.opts.fault_probe is not None:
+            # Named injection site "frag": a deterministic fault between
+            # init and traversal, proving mid-parse worker failures are
+            # contained by the retry ladder (runtime/faults.py).
+            self.opts.fault_probe.raise_if("frag")
         with rt.phase("cfg_traversal"):
             if self.opts.task_parallel:
                 self._traverse_tasked(initial)

@@ -90,12 +90,19 @@ class CFGFragment:
     #: func addr -> reached block starts (frontier replay task seeds)
     reached: dict[int, list[int]] = field(default_factory=dict)
     n_splits: int = 0
+    #: 1-based shard attempt this fragment came from.  The retry ladder
+    #: can hand the merge duplicate fragments for one shard (a timed-out
+    #: attempt whose delta straggles in next to its retry's); the merge
+    #: keeps the highest attempt per shard and drops the rest.
+    attempt: int = 1
 
 
-def export_fragment(parser: ParallelParser, shard_id: int) -> CFGFragment:
+def export_fragment(parser: ParallelParser, shard_id: int,
+                    attempt: int = 1) -> CFGFragment:
     """Flatten a fragment-mode parser's state for shipping home."""
     assert parser._owned is not None, "export requires fragment mode"
-    frag = CFGFragment(shard_id=shard_id, owned=parser._owned)
+    frag = CFGFragment(shard_id=shard_id, owned=parser._owned,
+                       attempt=attempt)
     for start, b in parser.blocks_by_start.sorted_items():
         frag.blocks.append((b.start, b.end, b.last_kind, b.has_teardown))
         for e in b.out_edges:
@@ -139,7 +146,18 @@ def merge_fragments(binary: LoadedBinary, rt: Runtime,
     opts = replace(options or ParseOptions(), thread_local_cache=True)
     parser = ParallelParser(binary, rt, opts, warm_cache=warm_cache)
     m = rt.metrics
-    frags = sorted(fragments, key=lambda f: f.shard_id)
+    # Tolerate duplicate-attempt fragments from the retry ladder: keep
+    # one fragment per shard, preferring the highest attempt (the one
+    # the coordinator actually validated last).
+    by_shard: dict[int, CFGFragment] = {}
+    for f in fragments:
+        cur = by_shard.get(f.shard_id)
+        if cur is None or f.attempt > cur.attempt:
+            by_shard[f.shard_id] = f
+    if m.enabled and len(by_shard) != len(fragments):
+        m.inc("procs.merge.duplicate_fragments",
+              len(fragments) - len(by_shard))
+    frags = [by_shard[sid] for sid in sorted(by_shard)]
 
     with rt.phase("cfg_merge"):
         t0 = time.perf_counter_ns()

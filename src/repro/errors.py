@@ -44,6 +44,61 @@ class RuntimeConfigError(ReproError):
     """A parallel runtime was misconfigured (bad worker count, etc.)."""
 
 
+class ShardError(ReproError):
+    """Base class for procs-backend shard execution failures.
+
+    Every shard failure carries the shard id and the attempt number
+    (1-based) it occurred on, so the retry/degradation ladder and the
+    run report can attribute faults precisely.
+    """
+
+    def __init__(self, message: str, shard_id: int | None = None,
+                 attempt: int = 0):
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.attempt = attempt
+
+
+class ShardTimeoutError(ShardError):
+    """A shard task did not produce its delta within its deadline."""
+
+    def __init__(self, shard_id: int, attempt: int, deadline: float):
+        super().__init__(
+            f"shard {shard_id} attempt {attempt} exceeded its "
+            f"{deadline:g}s deadline", shard_id, attempt)
+        self.deadline = deadline
+
+
+class ShardFailedError(ShardError):
+    """A shard task returned an error or an invalid/corrupt delta."""
+
+    def __init__(self, shard_id: int, attempt: int, reason: str):
+        super().__init__(
+            f"shard {shard_id} attempt {attempt} failed: {reason}",
+            shard_id, attempt)
+        self.reason = reason
+
+
+class PoolBrokenError(ShardError):
+    """The worker pool died (or could not be created) beyond repair.
+
+    ``attempt`` counts pool creations: 1 is the initial creation,
+    each respawn increments it.
+    """
+
+
+class InjectedFaultError(ReproError):
+    """A deterministic fault injected by a :class:`~repro.runtime.faults.FaultPlan`."""
+
+    def __init__(self, site: str, shard_id: int | None, attempt: int):
+        super().__init__(
+            f"injected fault at site {site!r} "
+            f"(shard={shard_id}, attempt={attempt})")
+        self.site = site
+        self.shard_id = shard_id
+        self.attempt = attempt
+
+
 class SimDeadlockError(ReproError):
     """The virtual-time scheduler detected that all workers are blocked."""
 

@@ -1,0 +1,266 @@
+"""Deterministic fault injection for the procs backend.
+
+The fault-tolerance layer in :mod:`repro.runtime.procs` (per-shard
+deadlines, retry ladder, pool self-healing, serial fallback) is only
+trustworthy if every failure mode can be provoked *on demand and
+reproducibly*.  This module is the harness: a :class:`FaultPlan` names
+the faults to inject — keyed by injection **site**, **shard id** and
+**attempt number**, never by wall-clock time or randomness — and the
+procs runtime threads it through the coordinator, the pool payloads and
+the worker processes.  Two runs with the same plan inject the same
+faults at the same points.
+
+Injection sites (grammar: ``site[@shard][xattempts][=value]``, entries
+joined by commas; full format in ``docs/ROBUSTNESS.md``):
+
+========== ============================================================
+``exc``    worker raises :class:`~repro.errors.InjectedFaultError`
+           before parsing its shard (``_parse_shard`` in procs.py)
+``frag``   the parser raises mid-fragment-parse
+           (``ParallelParser.execute_fragment`` in parallel_parser.py)
+``delay``  worker sleeps ``value`` seconds before parsing (trips the
+           per-shard deadline when ``value`` exceeds it)
+``kill``   worker process dies via ``os._exit`` (pool workers only;
+           inline execution treats it as ``exc``)
+``corrupt`` the returned :class:`ShardDelta`'s fragment is mutated
+           after its digest was computed (detected by the coordinator)
+``truncate`` the returned delta's fragment is dropped entirely
+``pool``   pool creation fails (``attempt`` counts creations: 1 is the
+           initial pool, each respawn increments)
+``health`` the coordinator's pool health-check reports the pool dead
+           (drives the respawn path without real worker carnage)
+========== ============================================================
+
+A spec fires while ``attempt <= attempts`` (default 1), so a fault that
+fires on the first attempt and not the second exercises exactly one
+rung of the retry ladder; ``x99`` effectively never stops firing and
+pushes execution down to the serial rung.
+
+The plan also rides in worker payloads (it is a frozen, pickle-friendly
+dataclass) and — for CLI / CI use — can come from the environment via
+``REPRO_FAULT_PLAN``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import time
+from dataclasses import dataclass
+from typing import Any
+
+from repro.errors import InjectedFaultError, RuntimeConfigError
+
+#: Every legal injection site, in ladder order.
+SITES = ("exc", "frag", "delay", "kill", "corrupt", "truncate",
+         "pool", "health")
+
+#: Environment variable consulted by :meth:`FaultPlan.from_env`.
+ENV_VAR = "REPRO_FAULT_PLAN"
+
+_SPEC = re.compile(
+    r"^(?P<site>[a-z]+)"
+    r"(?:@(?P<shard>\d+|\*))?"
+    r"(?:x(?P<attempts>\d+))?"
+    r"(?:=(?P<value>\d+(?:\.\d+)?))?$")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One fault directive: fire at ``site`` for ``shard`` (None = any)
+    while the attempt number is ``<= attempts``."""
+
+    site: str
+    shard: int | None = None
+    attempts: int = 1
+    value: float = 0.0
+
+    def matches(self, site: str, shard: int | None, attempt: int) -> bool:
+        return (self.site == site
+                and (self.shard is None or shard is None
+                     or self.shard == shard)
+                and attempt <= self.attempts)
+
+    def to_entry(self) -> str:
+        """The grammar form of this spec (``from_spec`` round-trips it)."""
+        out = self.site
+        if self.shard is not None:
+            out += f"@{self.shard}"
+        if self.attempts != 1:
+            out += f"x{self.attempts}"
+        if self.value:
+            out += f"={self.value:g}"
+        return out
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, deterministic set of fault directives.
+
+    ``fires(site, shard, attempt)`` is a pure function of its arguments
+    — the plan holds no mutable counters, so the same plan object can
+    be consulted from the coordinator and (pickled) from every worker
+    and always agree.
+    """
+
+    specs: tuple[FaultSpec, ...] = ()
+
+    @classmethod
+    def from_spec(cls, text: str) -> "FaultPlan":
+        """Parse the ``site[@shard][xattempts][=value]`` grammar."""
+        specs = []
+        for entry in filter(None, (e.strip()
+                                   for e in text.replace(";", ",")
+                                   .split(","))):
+            m = _SPEC.match(entry)
+            if m is None:
+                raise RuntimeConfigError(
+                    f"bad fault spec entry {entry!r} "
+                    f"(want site[@shard][xattempts][=value])")
+            site = m.group("site")
+            if site not in SITES:
+                raise RuntimeConfigError(
+                    f"unknown fault site {site!r} (one of {SITES})")
+            shard = m.group("shard")
+            specs.append(FaultSpec(
+                site=site,
+                shard=None if shard in (None, "*") else int(shard),
+                attempts=int(m.group("attempts") or 1),
+                value=float(m.group("value") or 0.0)))
+        return cls(tuple(specs))
+
+    @classmethod
+    def from_env(cls, environ=None) -> "FaultPlan | None":
+        """The plan named by ``REPRO_FAULT_PLAN``, or None if unset."""
+        text = (environ if environ is not None else os.environ).get(ENV_VAR)
+        return cls.from_spec(text) if text else None
+
+    def fires(self, site: str, shard: int | None = None,
+              attempt: int = 1) -> FaultSpec | None:
+        """The first spec matching (site, shard, attempt), or None."""
+        for spec in self.specs:
+            if spec.matches(site, shard, attempt):
+                return spec
+        return None
+
+    def to_spec(self) -> str:
+        return ",".join(s.to_entry() for s in self.specs)
+
+    def __bool__(self) -> bool:
+        return bool(self.specs)
+
+
+@dataclass(frozen=True)
+class FaultProbe:
+    """A plan bound to one (shard, attempt) — the form that travels into
+    the parser so deep sites (``frag``) can consult it without the
+    parser knowing about shard scheduling."""
+
+    plan: FaultPlan
+    shard_id: int
+    attempt: int
+
+    def raise_if(self, site: str) -> None:
+        if self.plan.fires(site, self.shard_id, self.attempt):
+            raise InjectedFaultError(site, self.shard_id, self.attempt)
+
+
+# ------------------------------------------------------- injection hooks
+
+def inject_worker_entry(plan: FaultPlan | None, shard_id: int,
+                        attempt: int) -> None:
+    """Worker-side entry faults: kill, delay, exc (in that order)."""
+    if not plan:
+        return
+    if plan.fires("kill", shard_id, attempt):
+        # A hard worker death: no exception, no cleanup, no delta.
+        os._exit(86)
+    spec = plan.fires("delay", shard_id, attempt)
+    if spec is not None:
+        time.sleep(spec.value)
+    if plan.fires("exc", shard_id, attempt):
+        raise InjectedFaultError("exc", shard_id, attempt)
+
+
+def inject_inline_entry(plan: FaultPlan | None, shard_id: int,
+                        attempt: int) -> None:
+    """Coordinator-side entry faults for inline shard execution.
+
+    ``kill`` must not take the coordinator down, so it degrades to an
+    exception here — the ladder still sees a failed attempt.
+    """
+    if not plan:
+        return
+    spec = plan.fires("delay", shard_id, attempt)
+    if spec is not None:
+        time.sleep(spec.value)
+    for site in ("kill", "exc"):
+        if plan.fires(site, shard_id, attempt):
+            raise InjectedFaultError(site, shard_id, attempt)
+
+
+def corrupt_delta(plan: FaultPlan | None, delta: Any, shard_id: int,
+                  attempt: int) -> Any:
+    """Delta faults, applied *after* the digest was computed so the
+    coordinator's integrity check is what catches them."""
+    if not plan:
+        return delta
+    if plan.fires("truncate", shard_id, attempt):
+        delta.fragment = None
+    elif plan.fires("corrupt", shard_id, attempt) \
+            and delta.fragment is not None:
+        frag = delta.fragment
+        frag.blocks = frag.blocks[:len(frag.blocks) // 2]
+        frag.edges = frag.edges[:len(frag.edges) // 2]
+    return delta
+
+
+# ------------------------------------------------------- delta integrity
+
+def delta_digest(delta: Any) -> str:
+    """Deterministic content digest of a :class:`ShardDelta`.
+
+    Covers the fragment's flat records and the decode-cache keys — the
+    data the structural merge consumes.  Computed by the worker right
+    after the fragment export and recomputed by the coordinator; any
+    mismatch (bit rot, truncation, an injected ``corrupt`` fault) makes
+    the delta invalid and sends the shard down the retry ladder.
+    """
+    frag = delta.fragment
+    payload = repr((
+        delta.shard_id,
+        delta.attempt,
+        sorted(delta.insns),
+        delta.counts,
+        frag.owned,
+        frag.blocks,
+        frag.ends,
+        frag.edges,
+        frag.functions,
+        [repr(j) for j in frag.jump_tables],
+        frag.noreturn,
+        [repr(r) for r in frag.frontier],
+        sorted(frag.reached.items()),
+        frag.n_splits,
+    ))
+    return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def delta_error(delta: Any) -> str | None:
+    """Why a delta is unusable, or None if it is intact.
+
+    The coordinator runs this on every collected delta; a non-None
+    reason counts as a failed attempt exactly like a worker exception.
+    """
+    if delta is None:
+        return "no delta returned"
+    if delta.error is not None:
+        return f"worker exception:\n{delta.error}"
+    if delta.fragment is None:
+        return "truncated delta: fragment missing"
+    if delta.digest is None:
+        return "delta carries no integrity digest"
+    if delta_digest(delta) != delta.digest:
+        return "corrupt delta: content digest mismatch"
+    return None

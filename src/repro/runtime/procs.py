@@ -49,6 +49,31 @@ Execution model
    invariant machinery (battery-proven) makes the result equal the
    serial fixed point byte-for-byte.
 
+Fault tolerance
+---------------
+The fan-out assumes nothing about worker health.  Every shard attempt
+is dispatched as its own ``AsyncResult`` and collected under a
+configurable per-shard deadline (``shard_deadline``) and overall parse
+budget (``parse_budget``); every collected delta is integrity-checked
+against the content digest the worker stamped on it.  A failed attempt
+— worker exception, kill, hang past the deadline, corrupt or truncated
+delta — walks a bounded ladder:
+
+1. **re-dispatch** the shard to the pool (up to ``max_retries`` times),
+   respawning the shared pool first when a health-check finds dead
+   workers (bounded by ``max_pool_respawns``);
+2. **inline re-execution** of just that shard in the coordinator
+   process (the ``shard_inline`` degradation step);
+3. if even that fails, the whole parse degrades to a plain **serial
+   parse** on the coordinator — the ladder's last rung always yields
+   the same fixed point.
+
+Every rung records a structured fault event (``rt.fault_events``, also
+exported in the run report) and a ``procs.*`` metric; the highest
+degradation step taken is summarized in ``rt.degradation``.  The
+deterministic fault-injection harness that proves all of this works
+lives in :mod:`repro.runtime.faults`; see ``docs/ROBUSTNESS.md``.
+
 Shared CFG state never crosses a process boundary mid-construction:
 cross-shard block splits, noreturn waves and tail-call correction all
 happen on the coordinator, where the five invariants hold trivially
@@ -59,9 +84,9 @@ phase — the same split the paper's finalization phase makes.
 ``makespan`` reports wall-clock seconds covering the shard fan-out and
 the merge, making this the backend for real-parallelism columns in the
 benchmark harness.  Worker metrics are merged into the coordinator
-registry under a ``workers.`` prefix; the fan-out, merge and frontier
-replay are observable via the ``procs.*`` metrics (catalog:
-``docs/OBSERVABILITY.md``).
+registry under a ``workers.`` prefix; the fan-out, merge, frontier
+replay and every recovery action are observable via the ``procs.*``
+metrics (catalog: ``docs/OBSERVABILITY.md``).
 """
 
 from __future__ import annotations
@@ -71,15 +96,38 @@ import itertools
 import multiprocessing
 import os
 import time
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any
 
-from repro.errors import RuntimeConfigError
+from repro.errors import (
+    InjectedFaultError,
+    PoolBrokenError,
+    RuntimeConfigError,
+    ShardFailedError,
+    ShardTimeoutError,
+)
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultProbe,
+    corrupt_delta,
+    delta_digest,
+    delta_error,
+    inject_inline_entry,
+    inject_worker_entry,
+)
 from repro.runtime.serial import SerialRuntime
 
 #: Worker-side cache of binaries rebuilt from payload image bytes,
 #: keyed by the coordinator's payload token (one token per parse).
-_WORKER_BINARIES: dict[int, Any] = {}
+#: LRU-ordered: a hit moves the token to the back, and when the cache
+#: is full only the *least recently used* entry is evicted — never the
+#: whole cache, which would drop the binary currently being parsed
+#: mid-run and force every later task of the parse to rebuild it.
+_WORKER_BINARIES: "OrderedDict[int, Any]" = OrderedDict()
+
+#: Maximum binaries kept alive per worker process.
+_WORKER_BINARY_CAP = 8
 
 #: Coordinator-side token source: a fresh token per sharded parse keys
 #: the worker caches so a reused pool never mixes up binaries.
@@ -96,6 +144,20 @@ _POOL_KEY: tuple[str, int] | None = None
 #: Upper bound of the last shard's ownership claim: the claims partition
 #: ``[0, ADDRESS_CEILING)`` so every address has exactly one owner.
 ADDRESS_CEILING = 1 << 63
+
+#: Default per-shard deadline (seconds) for one pool attempt.  Generous
+#: — it exists to bound hangs, not to race healthy workers.
+DEFAULT_SHARD_DEADLINE = 60.0
+
+#: Default bound on per-shard pool re-dispatches after the first attempt.
+DEFAULT_MAX_RETRIES = 2
+
+#: Default bound on shared-pool respawns within one parse.
+DEFAULT_MAX_POOL_RESPAWNS = 2
+
+#: The degradation ladder, least to most degraded.  ``rt.degradation``
+#: reports the highest level a parse reached.
+DEGRADATION_LEVELS = ("none", "shard_inline", "inline", "serial")
 
 
 @dataclass(frozen=True)
@@ -135,11 +197,17 @@ class ShardDelta:
     counts: tuple[int, int, int] = (0, 0, 0)
     #: worker registry snapshot (``repro.metrics/1``), or None
     metrics: dict | None = None
-    #: traceback text if the shard failed (re-raised by the coordinator)
+    #: traceback text if the shard failed (handled by the retry ladder)
     error: str | None = None
     #: the structural export the coordinator merges
     #: (:class:`repro.core.shard_merge.CFGFragment`)
     fragment: Any | None = None
+    #: 1-based attempt this delta was produced on (retries re-stamp it;
+    #: the coordinator keeps the highest attempt per shard)
+    attempt: int = 1
+    #: content digest stamped by the worker (``faults.delta_digest``);
+    #: the coordinator recomputes it to detect corrupt/truncated deltas
+    digest: str | None = None
 
 
 def shard_regions(entries: list[int], n_shards: int
@@ -180,22 +248,29 @@ def shard_regions(entries: list[int], n_shards: int
     return out
 
 
-def _run_shard(binary, options, task: ShardTask,
-               enable_metrics: bool) -> ShardDelta:
+def _run_shard(binary, options, task: ShardTask, enable_metrics: bool,
+               attempt: int = 1,
+               plan: FaultPlan | None = None) -> ShardDelta:
     """Parse one shard fragment on a private serial runtime; used by
-    both the pool workers and the in-process fallback."""
+    both the pool workers and the in-process fallback.
+
+    Stamps the delta with its attempt number and a content digest so
+    the coordinator can detect corruption and deduplicate retries.
+    """
     from repro.core.parallel_parser import ParallelParser
     from repro.core.shard_merge import export_fragment
 
+    probe = (FaultProbe(plan, task.shard_id, attempt)
+             if plan is not None and plan else None)
     # The decode cache is part of the delta, so force it on.
-    opts = replace(options, thread_local_cache=True)
+    opts = replace(options, thread_local_cache=True, fault_probe=probe)
     rt = SerialRuntime(enable_metrics=enable_metrics)
     parser = ParallelParser(binary, rt, opts,
                             seed_entries=list(task.seeds),
                             owned_range=(task.owned_lo, task.owned_hi))
     rt.run(parser.execute_fragment)
-    frag = export_fragment(parser, task.shard_id)
-    return ShardDelta(
+    frag = export_fragment(parser, task.shard_id, attempt)
+    delta = ShardDelta(
         shard_id=task.shard_id,
         entries=[(addr, name, via)
                  for addr, name, _entry, _sym, via, _status
@@ -204,7 +279,30 @@ def _run_shard(binary, options, task: ShardTask,
         counts=(len(frag.functions), len(frag.blocks), len(frag.edges)),
         metrics=rt.metrics.snapshot() if enable_metrics else None,
         fragment=frag,
+        attempt=attempt,
     )
+    delta.digest = delta_digest(delta)
+    return delta
+
+
+def _worker_binary(token: int, image_bytes: bytes):
+    """The worker's cached binary for ``token``, rebuilding on a miss.
+
+    LRU discipline: a hit refreshes the token's recency; a miss evicts
+    only the least-recently-used entry once the cache is full, so the
+    binary of an in-flight parse is never dropped by a newer parse's
+    arrival.
+    """
+    binary = _WORKER_BINARIES.get(token)
+    if binary is not None:
+        _WORKER_BINARIES.move_to_end(token)
+        return binary
+    from repro.binary.loader import load_image
+
+    while len(_WORKER_BINARIES) >= _WORKER_BINARY_CAP:
+        _WORKER_BINARIES.popitem(last=False)
+    binary = _WORKER_BINARIES[token] = load_image(image_bytes)
+    return binary
 
 
 def _parse_shard(payload: tuple) -> ShardDelta:
@@ -216,22 +314,22 @@ def _parse_shard(payload: tuple) -> ShardDelta:
     reach each worker pays the rebuild.
 
     Failures are returned as data (not raised) so one bad shard cannot
-    poison the pool; the coordinator re-raises with context.
+    poison the pool; the coordinator feeds them to the retry ladder.
+    The payload's fault plan drives the deterministic injection sites
+    (entry faults before the parse, delta faults after the digest).
     """
-    token, image_bytes, options, enable_metrics, task = payload
+    token, image_bytes, options, enable_metrics, task, attempt, plan = \
+        payload
     try:
-        binary = _WORKER_BINARIES.get(token)
-        if binary is None:
-            from repro.binary.loader import load_image
-
-            if len(_WORKER_BINARIES) >= 8:
-                _WORKER_BINARIES.clear()
-            binary = _WORKER_BINARIES[token] = load_image(image_bytes)
-        return _run_shard(binary, options, task, enable_metrics)
-    except Exception:  # pragma: no cover - exercised via error delta test
+        inject_worker_entry(plan, task.shard_id, attempt)
+        binary = _worker_binary(token, image_bytes)
+        delta = _run_shard(binary, options, task, enable_metrics,
+                           attempt, plan)
+        return corrupt_delta(plan, delta, task.shard_id, attempt)
+    except Exception:
         import traceback
 
-        return ShardDelta(shard_id=task.shard_id,
+        return ShardDelta(shard_id=task.shard_id, attempt=attempt,
                           error=traceback.format_exc())
 
 
@@ -271,14 +369,40 @@ class ProcsRuntime(SerialRuntime):
     merely without in-process parallelism.  Real parallelism comes from
     :meth:`sharded_parse`, which ``parse_binary`` dispatches to
     automatically for this backend.
+
+    Fault-tolerance knobs (see the module docstring for the ladder):
+
+    - ``shard_deadline`` — seconds one pool attempt of one shard may
+      take before it counts as hung (None disables the deadline);
+    - ``parse_budget`` — overall wall-clock budget for the pool fan-out;
+      once exhausted, remaining shards run inline immediately;
+    - ``max_retries`` — pool re-dispatches per shard after the first
+      attempt, before the shard is re-executed inline;
+    - ``max_pool_respawns`` — shared-pool rebuilds per parse;
+    - ``fault_plan`` — deterministic fault injection
+      (:class:`~repro.runtime.faults.FaultPlan`); defaults to the plan
+      named by ``REPRO_FAULT_PLAN`` if set.
     """
 
     def __init__(self, n_workers: int, cost_model=None,
                  enable_metrics: bool = True,
                  start_method: str | None = None,
-                 in_process: bool = False):
+                 in_process: bool = False,
+                 shard_deadline: float | None = DEFAULT_SHARD_DEADLINE,
+                 parse_budget: float | None = None,
+                 max_retries: int = DEFAULT_MAX_RETRIES,
+                 max_pool_respawns: int = DEFAULT_MAX_POOL_RESPAWNS,
+                 fault_plan: FaultPlan | None = None):
         if n_workers < 1:
             raise RuntimeConfigError("need at least one worker")
+        if shard_deadline is not None and shard_deadline <= 0:
+            raise RuntimeConfigError("shard_deadline must be positive")
+        if parse_budget is not None and parse_budget <= 0:
+            raise RuntimeConfigError("parse_budget must be positive")
+        if max_retries < 0:
+            raise RuntimeConfigError("max_retries must be >= 0")
+        if max_pool_respawns < 0:
+            raise RuntimeConfigError("max_pool_respawns must be >= 0")
         super().__init__(cost_model=cost_model,
                          enable_metrics=enable_metrics)
         self.num_workers = n_workers
@@ -289,10 +413,31 @@ class ProcsRuntime(SerialRuntime):
         #: escape hatch; also the automatic fallback when no pool can
         #: be created, e.g. in sandboxes without semaphore support).
         self.in_process = in_process
+        self.shard_deadline = shard_deadline
+        self.parse_budget = parse_budget
+        self.max_retries = max_retries
+        self.max_pool_respawns = max_pool_respawns
+        self.fault_plan = (fault_plan if fault_plan is not None
+                           else FaultPlan.from_env())
         self._t0: float | None = None
         self._elapsed: float | None = None
+        self._budget_t0: float | None = None
+        self._pool_creations = 0
+        self._health_checks = 0
         #: deltas of the last sharded parse (observability/tests).
         self.shard_deltas: list[ShardDelta] | None = None
+        #: structured record of every fault observed by the last parse
+        #: (exported in the ``repro.run-report/1`` ``fault_events``
+        #: section; see docs/ROBUSTNESS.md for the event kinds).
+        self.fault_events: list[dict] = []
+        #: the typed errors behind those events
+        #: (:class:`~repro.errors.ShardTimeoutError` /
+        #: :class:`~repro.errors.ShardFailedError` /
+        #: :class:`~repro.errors.PoolBrokenError`), in occurrence order.
+        self.shard_errors: list[Exception] = []
+        #: highest degradation step of the last parse plus the ordered
+        #: step log ({"level": ..., "steps": [...]}).
+        self.degradation: dict = {"level": "none", "steps": []}
 
     # -- Runtime API ---------------------------------------------------------
 
@@ -311,6 +456,21 @@ class ProcsRuntime(SerialRuntime):
             raise RuntimeConfigError("makespan available only after run()")
         return self._elapsed
 
+    # -- fault bookkeeping ---------------------------------------------------
+
+    def _record_fault(self, kind: str, shard: int | None, attempt: int,
+                      action: str) -> None:
+        self.fault_events.append({"kind": kind, "shard": shard,
+                                  "attempt": attempt, "action": action})
+
+    def _degrade(self, level: str, reason: str) -> None:
+        """Record one step down the ladder (monotone level, full log)."""
+        self.degradation["steps"].append(f"{level}: {reason}")
+        if (DEGRADATION_LEVELS.index(level)
+                > DEGRADATION_LEVELS.index(self.degradation["level"])):
+            self.degradation["level"] = level
+        self.metrics.inc(f"procs.degraded_to.{level}")
+
     # -- sharded CFG construction ------------------------------------------------
 
     def sharded_parse(self, binary, options=None):
@@ -318,13 +478,40 @@ class ProcsRuntime(SerialRuntime):
 
         ``parse_binary`` calls this automatically when handed a
         :class:`ProcsRuntime`; the signature of the result is identical
-        to a serial parse of the same binary.
+        to a serial parse of the same binary.  Never hangs and never
+        fails on a recoverable fault: shard attempts are bounded by
+        deadlines and retries, and an unrecoverable sharded pipeline
+        degrades to a plain serial parse (the fault and the degradation
+        step are recorded in ``fault_events`` / ``degradation`` and the
+        ``procs.*`` metrics).
         """
         from repro.core.parallel_parser import ParseOptions
-        from repro.core.shard_merge import merge_fragments
 
         opts = options or ParseOptions()
         self._t0 = time.perf_counter()
+        self._budget_t0 = time.monotonic()
+        self.fault_events = []
+        self.shard_errors = []
+        self.degradation = {"level": "none", "steps": []}
+        self._pool_creations = 0
+        self._health_checks = 0
+        try:
+            return self._sharded_parse_inner(binary, opts)
+        except Exception as exc:
+            # Last rung of the ladder: nothing recoverable remains in
+            # the sharded pipeline, so produce the fixed point the only
+            # way that cannot involve shards — a plain serial parse.
+            self._record_fault(
+                "sharded_parse_failed",
+                getattr(exc, "shard_id", None),
+                getattr(exc, "attempt", 0) or 0, "serial")
+            self._degrade("serial",
+                          f"{type(exc).__name__}: {exc}")
+            return self._serial_fallback(binary, opts)
+
+    def _sharded_parse_inner(self, binary, opts):
+        from repro.core.shard_merge import merge_fragments
+
         m = self.metrics
         shards = shard_regions(binary.entry_addresses(), self.num_workers)
         tasks = []
@@ -341,17 +528,29 @@ class ProcsRuntime(SerialRuntime):
                       time.perf_counter_ns() - t_pool)
         self.shard_deltas = deltas
 
+        # Validate every delta and keep one per shard: a timed-out
+        # attempt whose result straggles in after its retry can hand
+        # the coordinator duplicate deltas — the highest attempt wins.
+        best: dict[int, ShardDelta] = {}
+        for d in deltas:
+            reason = delta_error(d)
+            if reason is not None:
+                raise ShardFailedError(
+                    d.shard_id if d is not None else -1,
+                    getattr(d, "attempt", 0) or 0, reason)
+            cur = best.get(d.shard_id)
+            if cur is None or d.attempt > cur.attempt:
+                best[d.shard_id] = d
+        if m.enabled and len(deltas) != len(best):
+            m.inc("procs.duplicate_deltas", len(deltas) - len(best))
+
         warm: dict[int, Any] = {}
         fragments = []
         shard_insns_total = 0
-        for d in sorted(deltas, key=lambda d: d.shard_id):
-            if d.error is not None:
-                raise RuntimeConfigError(
-                    f"shard {d.shard_id} failed:\n{d.error}")
+        for d in sorted(best.values(), key=lambda d: d.shard_id):
             shard_insns_total += len(d.insns)
             warm.update(d.insns)
-            if d.fragment is not None:
-                fragments.append(d.fragment)
+            fragments.append(d.fragment)
             if m.enabled:
                 m.inc("procs.shard_functions", d.counts[0])
                 m.inc("procs.shard_insns_decoded", len(d.insns))
@@ -367,6 +566,18 @@ class ProcsRuntime(SerialRuntime):
 
         return self.run(lambda: merge_fragments(binary, self, opts,
                                                 fragments, warm))
+
+    def _serial_fallback(self, binary, opts):
+        """The ladder's last rung: a plain serial parse on this runtime."""
+        from repro.core.parallel_parser import ParallelParser
+
+        # The failed merge may have consumed this runtime's single run
+        # and left queued tasks behind; reset the scheduler state (the
+        # clock keeps accumulating — the fallback is part of the parse).
+        self._ran = False
+        self._queue.clear()
+        parser = ParallelParser(binary, self, opts)
+        return self.run(parser.execute)
 
     # -- pool plumbing -------------------------------------------------------------
 
@@ -385,22 +596,262 @@ class ProcsRuntime(SerialRuntime):
             except AttributeError:  # pragma: no cover - non-Linux
                 cores = os.cpu_count() or 1
             procs = max(1, min(self.num_workers, len(tasks), cores))
-            pool = _shared_pool(ctx, procs)
-            token = next(_PAYLOAD_TOKENS)
-            image_bytes = binary.image.to_bytes()
-            payloads = [(token, image_bytes, opts, self.metrics.enabled, t)
-                        for t in tasks]
-            return pool.map(_parse_shard, payloads)
-        except Exception:
+            pool = self._create_pool(ctx, procs)
+        except Exception as exc:
             # No usable pool (sandboxed semaphores, missing start
-            # method, pickling restrictions): degrade to in-process
+            # method, injected pool fault): degrade to in-process
             # shards — same code path including the structural merge,
             # no parallelism, observable via the fallback counter.
             shutdown_pool()
             self.metrics.inc("procs.pool_fallback")
+            self.shard_errors.append(PoolBrokenError(
+                f"pool creation failed: {type(exc).__name__}: {exc}",
+                None, self._pool_creations))
+            self._record_fault("pool_create_failed", None,
+                               self._pool_creations, "inline")
+            self._degrade("inline",
+                          f"no worker pool: {type(exc).__name__}: {exc}")
             return self._map_inline(binary, opts, tasks)
+        token = next(_PAYLOAD_TOKENS)
+        image_bytes = binary.image.to_bytes()
+        return self._dispatch(ctx, procs, pool, token, image_bytes,
+                              opts, binary, tasks)
+
+    def _create_pool(self, ctx, procs: int):
+        """One pool creation attempt (initial or respawn), counted so
+        the ``pool`` fault site can fail a specific creation."""
+        self._pool_creations += 1
+        if self.fault_plan is not None and self.fault_plan.fires(
+                "pool", None, self._pool_creations):
+            raise InjectedFaultError("pool", None, self._pool_creations)
+        return _shared_pool(ctx, procs)
+
+    def _pool_healthy(self, pool) -> bool:
+        """True if every pool worker process is alive.
+
+        The ``health`` fault site can force a negative verdict to
+        exercise the respawn path deterministically.
+        """
+        if self.fault_plan is not None and self.fault_plan.fires(
+                "health", None, self._health_checks):
+            return False
+        workers = getattr(pool, "_pool", None)
+        if workers is None:
+            return True
+        return bool(workers) and all(p.is_alive() for p in workers)
+
+    def _remaining_budget(self) -> float | None:
+        if self.parse_budget is None or self._budget_t0 is None:
+            return None
+        return self.parse_budget - (time.monotonic() - self._budget_t0)
+
+    def _wait_timeout(self) -> float | None:
+        """Timeout for one AsyncResult wait: the shard deadline capped
+        by whatever remains of the overall parse budget."""
+        budget = self._remaining_budget()
+        if budget is None:
+            return self.shard_deadline
+        budget = max(budget, 0.0)
+        if self.shard_deadline is None:
+            return budget
+        return min(self.shard_deadline, budget)
+
+    def _dispatch(self, ctx, procs: int, pool, token: int,
+                  image_bytes: bytes, opts, binary,
+                  tasks: list[ShardTask]) -> list[ShardDelta]:
+        """The fault-tolerant fan-out: per-task AsyncResults with
+        deadlines, bounded retries, pool self-healing, inline rung."""
+        m = self.metrics
+        plan = self.fault_plan
+        deltas: dict[int, ShardDelta] = {}
+        attempt = {t.shard_id: 0 for t in tasks}
+        pending = list(tasks)
+        respawns = 0
+
+        while pending and pool is not None:
+            inflight = []
+            for t in pending:
+                attempt[t.shard_id] += 1
+                if attempt[t.shard_id] > 1:
+                    m.inc("procs.retry.dispatch")
+                payload = (token, image_bytes, opts, m.enabled, t,
+                           attempt[t.shard_id], plan)
+                inflight.append(
+                    (t, pool.apply_async(_parse_shard, (payload,))))
+
+            retry: list[ShardTask] = []
+            pool_broken = False
+            budget_out = False
+            for t, ar in inflight:
+                a = attempt[t.shard_id]
+                if pool_broken or budget_out:
+                    retry.append(t)
+                    continue
+                try:
+                    delta = ar.get(timeout=self._wait_timeout())
+                except multiprocessing.TimeoutError:
+                    remaining = self._remaining_budget()
+                    if remaining is not None and remaining <= 0:
+                        budget_out = True
+                        self._record_fault("parse_budget_exceeded",
+                                           t.shard_id, a, "inline")
+                    else:
+                        m.inc("procs.shard_timeout")
+                        self.shard_errors.append(ShardTimeoutError(
+                            t.shard_id, a, self.shard_deadline or 0.0))
+                        self._record_fault("shard_timeout", t.shard_id,
+                                           a, "retry")
+                    retry.append(t)
+                    continue
+                except Exception as exc:
+                    # The pool machinery itself failed (broken result
+                    # queue, unpicklable state): everything uncollected
+                    # this round needs a fresh pool.
+                    pool_broken = True
+                    self.shard_errors.append(PoolBrokenError(
+                        f"pool error collecting shard {t.shard_id}: "
+                        f"{type(exc).__name__}: {exc}",
+                        t.shard_id, self._pool_creations))
+                    self._record_fault("pool_error", t.shard_id, a,
+                                       "respawn")
+                    retry.append(t)
+                    continue
+                reason = delta_error(delta)
+                if reason is None:
+                    deltas[t.shard_id] = delta
+                else:
+                    m.inc("procs.shard_failed")
+                    self.shard_errors.append(
+                        ShardFailedError(t.shard_id, a, reason))
+                    self._record_fault("shard_failed", t.shard_id, a,
+                                       "retry")
+                    retry.append(t)
+
+            if not retry:
+                pending = []
+                break
+
+            # Something failed this round: check the pool before
+            # deciding how to retry.  Dead workers (a kill can take the
+            # result-queue reader down with it) mean the pool must be
+            # respawned — bounded, so a persistently dying pool cannot
+            # loop forever.
+            self._health_checks += 1
+            if not pool_broken and not self._pool_healthy(pool):
+                pool_broken = True
+                self.shard_errors.append(PoolBrokenError(
+                    "pool health-check found dead workers",
+                    None, self._pool_creations))
+                self._record_fault("pool_unhealthy", None,
+                                   self._health_checks, "respawn")
+
+            if budget_out:
+                self._degrade("inline", "overall parse budget exhausted")
+                pool = None
+            elif pool_broken:
+                respawns += 1
+                shutdown_pool()
+                if respawns > self.max_pool_respawns:
+                    self._record_fault("pool_broken", None,
+                                       self._pool_creations, "inline")
+                    self._degrade("inline",
+                                  "pool respawn budget exhausted")
+                    pool = None
+                else:
+                    m.inc("procs.pool_respawn")
+                    self._record_fault("pool_respawn", None, respawns,
+                                       "retry")
+                    try:
+                        pool = self._create_pool(ctx, procs)
+                    except Exception as exc:
+                        self._record_fault("pool_create_failed", None,
+                                           self._pool_creations,
+                                           "inline")
+                        self._degrade(
+                            "inline",
+                            f"pool respawn failed: "
+                            f"{type(exc).__name__}: {exc}")
+                        pool = None
+
+            pending = []
+            for t in retry:
+                if pool is not None and attempt[t.shard_id] <= self.max_retries:
+                    pending.append(t)
+                else:
+                    deltas[t.shard_id] = self._run_shard_final(
+                        binary, opts, t, attempt[t.shard_id] + 1)
+
+        # Pool abandoned with shards still outstanding: inline rung.
+        for t in pending:
+            deltas[t.shard_id] = self._run_shard_final(
+                binary, opts, t, attempt[t.shard_id] + 1)
+        return [deltas[t.shard_id] for t in tasks]
+
+    def _run_shard_final(self, binary, opts, task: ShardTask,
+                         attempt_no: int) -> ShardDelta:
+        """Inline re-execution of one shard — the ladder rung between
+        pool retries and the whole-parse serial fallback.  A failure
+        here raises :class:`ShardFailedError`, which ``sharded_parse``
+        converts into the serial rung."""
+        m = self.metrics
+        m.inc("procs.retry.inline")
+        self._record_fault("shard_inline", task.shard_id, attempt_no,
+                           "inline")
+        self._degrade("shard_inline",
+                      f"shard {task.shard_id} re-executed inline")
+        try:
+            inject_inline_entry(self.fault_plan, task.shard_id,
+                                attempt_no)
+            delta = _run_shard(binary, opts, task, m.enabled,
+                               attempt_no, self.fault_plan)
+        except Exception as exc:
+            raise ShardFailedError(
+                task.shard_id, attempt_no,
+                f"inline re-execution failed: "
+                f"{type(exc).__name__}: {exc}") from exc
+        delta = corrupt_delta(self.fault_plan, delta, task.shard_id,
+                              attempt_no)
+        reason = delta_error(delta)
+        if reason is not None:
+            raise ShardFailedError(task.shard_id, attempt_no, reason)
+        return delta
 
     def _map_inline(self, binary, opts, tasks: list[ShardTask]
                     ) -> list[ShardDelta]:
-        return [_run_shard(binary, opts, t, self.metrics.enabled)
-                for t in tasks]
+        """Run every shard in the coordinator process.
+
+        The fast path (no fault plan, no failures) is one `_run_shard`
+        per task; faults — injected or real — get the same bounded
+        per-shard retry as the pool path, and a shard that exhausts its
+        inline attempts raises :class:`ShardFailedError` so the parse
+        degrades to the serial rung.
+        """
+        m = self.metrics
+        plan = self.fault_plan
+        out: list[ShardDelta] = []
+        for t in tasks:
+            delta = None
+            reason: str | None = None
+            for a in range(1, self.max_retries + 2):
+                if a > 1:
+                    m.inc("procs.retry.inline")
+                try:
+                    inject_inline_entry(plan, t.shard_id, a)
+                    d = _run_shard(binary, opts, t, m.enabled, a, plan)
+                    d = corrupt_delta(plan, d, t.shard_id, a)
+                    reason = delta_error(d)
+                except Exception as exc:
+                    reason = f"{type(exc).__name__}: {exc}"
+                if reason is None:
+                    delta = d
+                    break
+                m.inc("procs.shard_failed")
+                self.shard_errors.append(
+                    ShardFailedError(t.shard_id, a, reason))
+                self._record_fault("shard_failed", t.shard_id, a,
+                                   "retry")
+            if delta is None:
+                raise ShardFailedError(t.shard_id, self.max_retries + 1,
+                                       reason or "unknown failure")
+            out.append(delta)
+        return out

@@ -166,6 +166,11 @@ _BACKEND_NAMES = {
 #: Backends whose ``makespan`` is wall-clock seconds (vs cycles).
 _WALL_CLOCK_BACKENDS = ("threads", "procs")
 
+#: Legal ``degradation.level`` values, least to most degraded (mirrors
+#: ``repro.runtime.procs.DEGRADATION_LEVELS``; duplicated here so the
+#: validator has no runtime import).
+_DEGRADATION_LEVELS = ("none", "shard_inline", "inline", "serial")
+
 
 def run_report(rt: Any, workload: str | None = None) -> dict:
     """Assemble the versioned run report for a finished runtime.
@@ -177,7 +182,7 @@ def run_report(rt: Any, workload: str | None = None) -> dict:
     wall seconds but metric timings are in the registry's own unit).
     """
     backend = _BACKEND_NAMES.get(type(rt).__name__, type(rt).__name__)
-    return {
+    report = {
         "schema": REPORT_SCHEMA,
         "backend": backend,
         "workload": workload,
@@ -188,6 +193,17 @@ def run_report(rt: Any, workload: str | None = None) -> dict:
         "metrics": rt.metrics.snapshot() if rt.metrics.enabled else None,
         "trace": trace_to_json(rt.trace) if rt.trace is not None else None,
     }
+    # Fault-tolerance record (procs backend): what failed and how far
+    # down the degradation ladder the run went.  Optional sections —
+    # only runtimes that track faults export them.
+    fault_events = getattr(rt, "fault_events", None)
+    if fault_events is not None:
+        report["fault_events"] = [dict(ev) for ev in fault_events]
+    degradation = getattr(rt, "degradation", None)
+    if degradation is not None:
+        report["degradation"] = {"level": degradation["level"],
+                                 "steps": list(degradation["steps"])}
+    return report
 
 
 def validate_bench_procs(obj: Any) -> list[str]:
@@ -328,6 +344,38 @@ def validate_report(obj: Any) -> list[str]:
                             expect(isinstance(bk, str) and bk.isdigit(),
                                    f"histogram {k!r}: bucket key {bk!r} "
                                    f"must be a decimal string")
+
+    if "fault_events" in obj:
+        events = obj["fault_events"]
+        if expect(isinstance(events, list), "fault_events must be a list"):
+            for i, ev in enumerate(events):
+                if not expect(isinstance(ev, dict),
+                              f"fault_events[{i}] must be an object"):
+                    continue
+                expect(isinstance(ev.get("kind"), str),
+                       f"fault_events[{i}]: kind must be a string")
+                shard = ev.get("shard")
+                expect(shard is None or (isinstance(shard, int)
+                                         and not isinstance(shard, bool)),
+                       f"fault_events[{i}]: shard must be int|null")
+                attempt = ev.get("attempt")
+                expect(isinstance(attempt, int)
+                       and not isinstance(attempt, bool) and attempt >= 0,
+                       f"fault_events[{i}]: attempt must be an int >= 0")
+                expect(isinstance(ev.get("action"), str),
+                       f"fault_events[{i}]: action must be a string")
+    if "degradation" in obj:
+        deg = obj["degradation"]
+        if expect(isinstance(deg, dict), "degradation must be an object"):
+            expect(deg.get("level") in _DEGRADATION_LEVELS,
+                   f"degradation.level is {deg.get('level')!r}, want one "
+                   f"of {_DEGRADATION_LEVELS!r}")
+            steps = deg.get("steps")
+            if expect(isinstance(steps, list),
+                      "degradation.steps must be a list"):
+                for i, s in enumerate(steps):
+                    expect(isinstance(s, str),
+                           f"degradation.steps[{i}] must be a string")
 
     trace = obj.get("trace")
     if trace is not None:

@@ -1,9 +1,12 @@
 """Tests for image loading and metadata views."""
 
+import pytest
+
 from repro.binary import BinaryImage, Section, SectionFlags, Symbol, SymbolTable
 from repro.binary import format as fmt
 from repro.binary.dwarf import CompilationUnit, DebugInfo, FunctionDIE
 from repro.binary.loader import encode_eh_frame, load_image, save_image
+from repro.errors import ImageFormatError
 from repro.isa import Instruction, Opcode, encode
 from repro.isa.encoding import instruction_length
 
@@ -75,3 +78,75 @@ class TestLoadedBinary:
         assert lb.eh_frame_starts == [0x1000]
         # Entries still discoverable without .symtab (Section 9).
         assert 0x1000 in lb.entry_addresses()
+
+
+class TestMalformedImages:
+    """`load_image` must reject broken images, not misparse them.
+
+    The procs workers rebuild binaries from bytes shipped in pool
+    payloads, so any corruption in transit has to surface as a loud
+    :class:`ImageFormatError` at the load boundary."""
+
+    def test_truncated_section_payload(self):
+        raw = build_test_binary().to_bytes()
+        with pytest.raises(ImageFormatError, match="truncated stream"):
+            load_image(raw[:-10])
+
+    def test_truncated_header(self):
+        raw = build_test_binary().to_bytes()
+        with pytest.raises(ImageFormatError, match="truncated stream"):
+            load_image(raw[:5])
+
+    def test_bad_magic(self):
+        with pytest.raises(ImageFormatError, match="bad magic"):
+            load_image(b"ELF?" + b"\x00" * 64)
+
+    def test_trailing_garbage(self):
+        raw = build_test_binary().to_bytes()
+        with pytest.raises(ImageFormatError, match="trailing bytes"):
+            load_image(raw + b"\xde\xad")
+
+    def test_overlapping_loadable_sections(self):
+        img = BinaryImage(name="overlap")
+        img.add_section(Section(fmt.TEXT, 0x1000, b"\x01" * 0x20,
+                                SectionFlags.EXEC))
+        img.add_section(Section(fmt.RODATA, 0x1010, b"\x02" * 0x20,
+                                SectionFlags.DATA))
+        with pytest.raises(ImageFormatError, match="overlapping sections"):
+            load_image(img)
+
+    def test_overlap_detected_through_serialization(self):
+        img = BinaryImage(name="overlap")
+        img.add_section(Section(fmt.TEXT, 0x1000, b"\x01" * 0x20,
+                                SectionFlags.EXEC))
+        img.add_section(Section(fmt.RODATA, 0x101f, b"\x02" * 8,
+                                SectionFlags.DATA))
+        with pytest.raises(ImageFormatError, match="overlapping sections"):
+            load_image(img.to_bytes())
+
+    def test_zero_length_loadable_section(self):
+        img = BinaryImage(name="empty-text")
+        img.add_section(Section(fmt.TEXT, 0x1000, b"",
+                                SectionFlags.EXEC))
+        with pytest.raises(ImageFormatError, match="zero-length"):
+            load_image(img)
+
+    def test_adjacent_loadable_sections_are_fine(self):
+        img = BinaryImage(name="adjacent")
+        img.add_section(Section(fmt.TEXT, 0x1000, b"\x01" * 0x20,
+                                SectionFlags.EXEC))
+        img.add_section(Section(fmt.RODATA, 0x1020, b"\x02" * 8,
+                                SectionFlags.DATA))
+        assert load_image(img).name == "adjacent"
+
+    def test_metadata_sections_exempt_from_layout_checks(self):
+        # Metadata conventionally lives at address 0 (all "overlapping")
+        # and may be empty; it is keyed by name, never by address.
+        img = BinaryImage(name="meta")
+        img.add_section(Section(fmt.TEXT, 0x1000, b"\x01",
+                                SectionFlags.EXEC))
+        img.add_section(Section(fmt.DEBUG, 0, b"",
+                                SectionFlags.DEBUG_INFO))
+        img.add_section(Section(fmt.EH_FRAME, 0, encode_eh_frame([]),
+                                SectionFlags.DEBUG_INFO))
+        assert load_image(img).eh_frame_starts == []

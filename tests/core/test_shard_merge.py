@@ -122,6 +122,31 @@ class TestFragmentTransport:
             assert clone.frontier == frag.frontier
             assert clone.reached == frag.reached
 
+    def test_duplicate_attempt_fragments_deduped_by_max_attempt(self):
+        """The retry ladder can hand the merge two fragments for one
+        shard (a timed-out attempt's delta straggling in next to its
+        retry's).  The merge must keep the highest attempt per shard
+        and still reproduce the serial fixed point."""
+        entries = sorted(_SB.binary.entry_addresses())
+        boundary = entries[len(entries) // 2]
+        seeds = [tuple(a for a in entries if a < boundary),
+                 tuple(a for a in entries if a >= boundary)]
+        tasks = [ShardTask(0, seeds[0], 0, boundary),
+                 ShardTask(1, seeds[1], boundary, ADDRESS_CEILING)]
+        opts = ParseOptions()
+        deltas = [_run_shard(_SB.binary, opts, t, enable_metrics=False,
+                             attempt=a)
+                  for t in tasks for a in (1, 2)]  # two attempts each
+        warm = {}
+        for d in deltas:
+            warm.update(d.insns)
+        rt = SerialRuntime(enable_metrics=True)
+        cfg = rt.run(lambda: merge_fragments(
+            _SB.binary, rt, opts, [d.fragment for d in deltas], warm))
+        assert cfg.signature() == _SERIAL_SIG
+        assert [d.fragment.attempt for d in deltas] == [1, 2, 1, 2]
+        assert rt.metrics.counter("procs.merge.duplicate_fragments") == 2
+
     def test_duplicate_block_start_rejected(self):
         """Ownership means block starts are shard-disjoint; a violation
         is a bug upstream and must fail loudly, not merge quietly."""

@@ -1,0 +1,436 @@
+"""Fault-injection matrix for the procs backend's tolerance ladder.
+
+Every test injects a deterministic fault (``repro.runtime.faults``) into
+the sharded parse and asserts the two properties ISSUE 4 demands: the
+parse completes without hanging and reproduces the serial fixed-point
+signature exactly, and the fault plus the degradation step taken are
+recorded in the metrics, ``rt.fault_events`` and the run report.
+
+Pool-backed tests are skipped where multiprocessing pools don't work
+(sandboxes without semaphores); the inline-mode tests cover the same
+ladder logic everywhere.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.core import parse_binary
+from repro.errors import (
+    InjectedFaultError,
+    PoolBrokenError,
+    RuntimeConfigError,
+    ShardFailedError,
+    ShardTimeoutError,
+)
+from repro.runtime import ProcsRuntime, SerialRuntime
+from repro.runtime.faults import (
+    FaultPlan,
+    FaultProbe,
+    FaultSpec,
+    delta_digest,
+    delta_error,
+)
+from repro.runtime.procs import (
+    _WORKER_BINARIES,
+    _parse_shard,
+    _run_shard,
+    _worker_binary,
+    ShardTask,
+    shutdown_pool,
+)
+from repro.runtime.tracefmt import run_report, validate_report
+from repro.synth import tiny_binary
+
+
+def _pool_works() -> bool:
+    try:
+        with multiprocessing.get_context().Pool(1) as p:
+            return p.apply(int, ("1",)) == 1
+    except Exception:
+        return False
+
+
+needs_pool = pytest.mark.skipif(not _pool_works(),
+                                reason="multiprocessing pool unavailable")
+
+
+@pytest.fixture(scope="module")
+def workload():
+    sb = tiny_binary(seed=5, n_functions=24)
+    want = parse_binary(sb.binary, SerialRuntime()).signature()
+    return sb, want
+
+
+def _parse_with(sb, want, plan, **kw):
+    rt = ProcsRuntime(2, fault_plan=FaultPlan.from_spec(plan), **kw)
+    assert parse_binary(sb.binary, rt).signature() == want
+    return rt
+
+
+class TestFaultPlanGrammar:
+    def test_round_trip(self):
+        text = "exc@1,delay@0x3=1.5,killx2,corrupt,pool@2"
+        plan = FaultPlan.from_spec(text)
+        assert plan.to_spec() == text
+        assert FaultPlan.from_spec(plan.to_spec()) == plan
+
+    def test_wildcard_shard(self):
+        plan = FaultPlan.from_spec("exc@*")
+        assert plan.fires("exc", 0) and plan.fires("exc", 7)
+        assert plan.to_spec() == "exc"
+
+    def test_attempt_window(self):
+        plan = FaultPlan.from_spec("excx2")
+        assert plan.fires("exc", 0, attempt=1)
+        assert plan.fires("exc", 0, attempt=2)
+        assert not plan.fires("exc", 0, attempt=3)
+
+    def test_shard_scoping(self):
+        plan = FaultPlan.from_spec("exc@1")
+        assert plan.fires("exc", 1) and not plan.fires("exc", 0)
+        # Site consulted without a shard id matches any scoped spec.
+        assert plan.fires("exc", None)
+
+    def test_value_parses(self):
+        spec = FaultPlan.from_spec("delay@0=2.5").fires("delay", 0)
+        assert spec is not None and spec.value == 2.5
+
+    def test_bad_entry_rejected(self):
+        for bad in ("exc@", "=3", "delay@0x", "exc@1x2=a", "@1"):
+            with pytest.raises(RuntimeConfigError, match="bad fault spec"):
+                FaultPlan.from_spec(bad)
+
+    def test_unknown_site_rejected(self):
+        with pytest.raises(RuntimeConfigError, match="unknown fault site"):
+            FaultPlan.from_spec("explode@1")
+
+    def test_from_env(self):
+        assert FaultPlan.from_env({}) is None
+        plan = FaultPlan.from_env({"REPRO_FAULT_PLAN": "exc@1"})
+        assert plan == FaultPlan((FaultSpec("exc", shard=1),))
+
+    def test_empty_plan_is_falsy(self):
+        assert not FaultPlan.from_spec("")
+        assert FaultPlan.from_spec("exc")
+
+    def test_probe_raises_only_its_site(self):
+        probe = FaultProbe(FaultPlan.from_spec("frag@1"), 1, 1)
+        probe.raise_if("exc")  # different site: no-op
+        with pytest.raises(InjectedFaultError) as ei:
+            probe.raise_if("frag")
+        assert (ei.value.site, ei.value.shard_id) == ("frag", 1)
+
+
+class TestDeltaIntegrity:
+    def _delta(self, sb):
+        task = ShardTask(0, tuple(sb.binary.entry_addresses()))
+        return _run_shard(sb.binary, _opts(), task, False)
+
+    def test_digest_is_deterministic(self, workload):
+        sb, _ = workload
+        a, b = self._delta(sb), self._delta(sb)
+        assert a.digest == b.digest == delta_digest(a)
+        assert delta_error(a) is None
+
+    def test_mutation_detected(self, workload):
+        sb, _ = workload
+        d = self._delta(sb)
+        d.fragment.blocks = d.fragment.blocks[:-1]
+        assert delta_error(d) == "corrupt delta: content digest mismatch"
+
+    def test_missing_fragment_detected(self, workload):
+        sb, _ = workload
+        d = self._delta(sb)
+        d.fragment = None
+        assert "truncated" in delta_error(d)
+
+    def test_missing_digest_detected(self, workload):
+        sb, _ = workload
+        d = self._delta(sb)
+        d.digest = None
+        assert "no integrity digest" in delta_error(d)
+
+    def test_error_and_none_detected(self, workload):
+        sb, _ = workload
+        d = self._delta(sb)
+        d.error = "Boom"
+        assert "worker exception" in delta_error(d)
+        assert delta_error(None) == "no delta returned"
+
+
+class TestParseShardErrorAsData:
+    """`_parse_shard` returns failures as data, never raises."""
+
+    def test_injected_exception_returned_as_error_delta(self, workload):
+        sb, _ = workload
+        task = ShardTask(0, tuple(sb.binary.entry_addresses()))
+        payload = (next(_tokens()), sb.binary.image.to_bytes(), _opts(),
+                   False, task, 1, FaultPlan.from_spec("exc@0"))
+        delta = _parse_shard(payload)
+        assert delta.error is not None
+        assert "InjectedFaultError" in delta.error
+        assert (delta.shard_id, delta.attempt) == (0, 1)
+
+    def test_garbage_image_returned_as_error_delta(self, workload):
+        sb, _ = workload
+        task = ShardTask(0, tuple(sb.binary.entry_addresses()))
+        payload = (next(_tokens()), b"not an image", _opts(), False,
+                   task, 1, None)
+        delta = _parse_shard(payload)
+        assert delta.error is not None and "ImageFormatError" in delta.error
+
+
+class TestWorkerBinaryCache:
+    """LRU eviction: one entry at a time, never the whole cache."""
+
+    @pytest.fixture(autouse=True)
+    def clean_cache(self):
+        _WORKER_BINARIES.clear()
+        yield
+        _WORKER_BINARIES.clear()
+
+    def test_evicts_one_oldest_not_all(self, workload):
+        sb, _ = workload
+        raw = sb.binary.image.to_bytes()
+        for token in range(1, 9):  # fill to the cap of 8
+            _worker_binary(token, raw)
+        assert len(_WORKER_BINARIES) == 8
+        _worker_binary(9, raw)  # one past the cap
+        assert len(_WORKER_BINARIES) == 8  # still full, not cleared
+        assert 1 not in _WORKER_BINARIES  # only the oldest went
+        assert all(t in _WORKER_BINARIES for t in range(2, 10))
+
+    def test_hit_refreshes_recency(self, workload):
+        sb, _ = workload
+        raw = sb.binary.image.to_bytes()
+        for token in range(1, 9):
+            _worker_binary(token, raw)
+        _worker_binary(1, raw)  # hit: token 1 becomes most recent
+        _worker_binary(10, raw)  # evicts token 2, not the just-used 1
+        assert 1 in _WORKER_BINARIES and 2 not in _WORKER_BINARIES
+
+    def test_hit_returns_cached_object(self, workload):
+        sb, _ = workload
+        raw = sb.binary.image.to_bytes()
+        first = _worker_binary(42, raw)
+        assert _worker_binary(42, raw) is first
+
+
+class TestInlineLadder:
+    """Ladder behavior with in-process shard execution (no pool)."""
+
+    def test_exc_retried_transparently(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "exc@0x1", in_process=True)
+        assert rt.degradation["level"] == "none"
+        assert [e["kind"] for e in rt.fault_events] == ["shard_failed"]
+        assert rt.metrics.counter("procs.retry.inline") == 1
+        assert isinstance(rt.shard_errors[0], ShardFailedError)
+        assert rt.shard_errors[0].shard_id == 0
+
+    def test_frag_site_fires_mid_parse(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "frag@1x1", in_process=True)
+        assert rt.degradation["level"] == "none"
+        assert rt.fault_events[0]["shard"] == 1
+        assert "InjectedFaultError" in str(rt.shard_errors[0])
+
+    def test_corrupt_delta_detected_and_retried(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "corrupt@1x1", in_process=True)
+        assert rt.degradation["level"] == "none"
+        assert "digest mismatch" in str(rt.shard_errors[0])
+
+    def test_truncated_delta_detected_and_retried(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "truncate@0x1", in_process=True)
+        assert rt.degradation["level"] == "none"
+        assert "truncated" in str(rt.shard_errors[0])
+
+    def test_exhausted_retries_degrade_to_serial(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "exc@0x99", in_process=True)
+        assert rt.degradation["level"] == "serial"
+        assert rt.metrics.counter("procs.degraded_to.serial") == 1
+        assert rt.fault_events[-1]["kind"] == "sharded_parse_failed"
+        # max_retries=2 -> three failed inline attempts before the rung.
+        assert rt.metrics.counter("procs.shard_failed") == 3
+
+    def test_metrics_off_still_recovers(self, workload):
+        sb, want = workload
+        rt = ProcsRuntime(2, in_process=True, enable_metrics=False,
+                          fault_plan=FaultPlan.from_spec("exc@0x1"))
+        assert parse_binary(sb.binary, rt).signature() == want
+        assert rt.fault_events  # events recorded even without metrics
+
+    def test_report_carries_fault_sections(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "exc@0x99", in_process=True)
+        report = run_report(rt, workload="tiny")
+        assert validate_report(report) == []
+        assert report["degradation"]["level"] == "serial"
+        kinds = [ev["kind"] for ev in report["fault_events"]]
+        assert "shard_failed" in kinds
+        assert "sharded_parse_failed" in kinds
+
+    def test_clean_run_reports_no_faults(self, workload):
+        sb, want = workload
+        rt = ProcsRuntime(2, in_process=True)
+        assert parse_binary(sb.binary, rt).signature() == want
+        report = run_report(rt)
+        assert validate_report(report) == []
+        assert report["fault_events"] == []
+        assert report["degradation"] == {"level": "none", "steps": []}
+
+
+@needs_pool
+class TestPoolLadder:
+    """The real-pool matrix: timeout, kill, corrupt, pool-broken."""
+
+    def test_worker_exception_redispatched(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "exc@1x1", shard_deadline=30.0)
+        assert rt.degradation["level"] == "none"
+        assert rt.metrics.counter("procs.retry.dispatch") == 1
+        assert rt.fault_events[0] == {"kind": "shard_failed", "shard": 1,
+                                      "attempt": 1, "action": "retry"}
+
+    def test_hang_past_deadline_times_out_and_recovers(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "delay@0x1=1.2", shard_deadline=0.4)
+        assert rt.degradation["level"] in ("none", "shard_inline")
+        assert rt.metrics.counter("procs.shard_timeout") >= 1
+        err = next(e for e in rt.shard_errors
+                   if isinstance(e, ShardTimeoutError))
+        assert (err.shard_id, err.deadline) == (0, 0.4)
+
+    def test_worker_kill_recovers(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "kill@1x1", shard_deadline=1.0)
+        # The kill manifests as a lost result: deadline timeout, then a
+        # retry on the (self-healed or respawned) pool, or inline.
+        assert rt.metrics.counter("procs.shard_timeout") >= 1
+        assert any(e["kind"] == "shard_timeout" and e["shard"] == 1
+                   for e in rt.fault_events)
+
+    def test_corrupt_delta_redispatched(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "corrupt@0x1", shard_deadline=30.0)
+        assert rt.degradation["level"] == "none"
+        assert "digest mismatch" in str(rt.shard_errors[0])
+
+    def test_pool_creation_failure_degrades_inline(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "poolx99", shard_deadline=30.0)
+        assert rt.degradation["level"] == "inline"
+        assert rt.metrics.counter("procs.pool_fallback") == 1
+        assert isinstance(rt.shard_errors[0], PoolBrokenError)
+        # Inline rung still runs the structural merge, not serial.
+        assert rt.metrics.counter("procs.merge.blocks") > 0
+
+    def test_health_check_respawns_pool(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "exc@1x1,healthx1",
+                         shard_deadline=30.0)
+        assert rt.degradation["level"] == "none"
+        assert rt.metrics.counter("procs.pool_respawn") == 1
+        kinds = [e["kind"] for e in rt.fault_events]
+        assert kinds == ["shard_failed", "pool_unhealthy", "pool_respawn"]
+
+    def test_parse_budget_exhaustion_goes_inline(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "delay@*x99=0.4",
+                         shard_deadline=30.0, parse_budget=0.2)
+        assert rt.degradation["level"] == "inline"
+        assert any(e["kind"] == "parse_budget_exceeded"
+                   for e in rt.fault_events)
+
+    def test_pool_exhausted_shard_runs_inline(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "exc@0x3", shard_deadline=30.0,
+                         max_retries=2)
+        # Attempts 1-3 fail in the pool; the inline rung (attempt 4)
+        # is past the plan's window and succeeds.
+        assert rt.degradation["level"] == "shard_inline"
+        assert rt.metrics.counter("procs.retry.dispatch") == 2
+        assert rt.metrics.counter("procs.retry.inline") == 1
+        assert rt.metrics.counter("procs.degraded_to.shard_inline") == 1
+
+    def test_report_validates_after_pool_faults(self, workload):
+        sb, want = workload
+        rt = _parse_with(sb, want, "exc@1x1,healthx1",
+                         shard_deadline=30.0)
+        report = run_report(rt, workload="tiny")
+        assert validate_report(report) == []
+        assert report["degradation"]["level"] == "none"
+        assert len(report["fault_events"]) == 3
+
+
+class TestConfigValidation:
+    def test_bad_knobs_rejected(self):
+        for kw in ({"shard_deadline": 0}, {"shard_deadline": -1},
+                   {"parse_budget": 0}, {"max_retries": -1},
+                   {"max_pool_respawns": -1}):
+            with pytest.raises(RuntimeConfigError):
+                ProcsRuntime(2, **kw)
+
+    def test_env_plan_picked_up(self, workload, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "exc@0x1")
+        sb, want = workload
+        rt = ProcsRuntime(2, in_process=True)
+        assert rt.fault_plan is not None
+        assert parse_binary(sb.binary, rt).signature() == want
+        assert rt.fault_events
+
+    def test_timeout_error_fields(self):
+        err = ShardTimeoutError(3, 2, 1.5)
+        assert (err.shard_id, err.attempt, err.deadline) == (3, 2, 1.5)
+        assert "1.5s deadline" in str(err)
+
+
+class TestReportValidatorRejections:
+    def _base(self, workload):
+        sb, want = workload
+        rt = ProcsRuntime(2, in_process=True)
+        parse_binary(sb.binary, rt)
+        return run_report(rt)
+
+    def test_bad_degradation_level(self, workload):
+        report = self._base(workload)
+        report["degradation"]["level"] = "sideways"
+        assert any("degradation.level" in e
+                   for e in validate_report(report))
+
+    def test_bad_event_shape(self, workload):
+        report = self._base(workload)
+        report["fault_events"] = [{"kind": 7, "shard": "x",
+                                   "attempt": -1, "action": None}]
+        errs = validate_report(report)
+        assert any("kind" in e for e in errs)
+        assert any("shard" in e for e in errs)
+        assert any("attempt" in e for e in errs)
+        assert any("action" in e for e in errs)
+
+    def test_bad_steps(self, workload):
+        report = self._base(workload)
+        report["degradation"]["steps"] = [1]
+        assert any("steps[0]" in e for e in validate_report(report))
+
+
+def _opts():
+    from repro.core.parallel_parser import ParseOptions
+    return ParseOptions()
+
+
+def _tokens():
+    from repro.runtime.procs import _PAYLOAD_TOKENS
+    return _PAYLOAD_TOKENS
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _teardown_pool():
+    yield
+    shutdown_pool()

@@ -102,14 +102,26 @@ class TestProcsRuntime:
         assert parse_binary(sb.binary, rt).signature() == want
         assert not rt.metrics.enabled
 
-    def test_shard_error_is_reraised_with_context(self, monkeypatch):
+    def test_unrecoverable_shard_error_degrades_to_serial(self, monkeypatch):
+        # A delta that survives the dispatch ladder with its error still
+        # set (here: a rogue _map_shards, standing in for any
+        # unrecoverable sharded-pipeline failure) must not abort the
+        # parse — the ladder's last rung produces the serial fixed
+        # point and records what happened.
+        sb = tiny_binary(seed=5, n_functions=24)
+        want = parse_binary(sb.binary, SerialRuntime()).signature()
         rt = ProcsRuntime(2, in_process=True)
         monkeypatch.setattr(
             ProcsRuntime, "_map_shards",
             lambda self, binary, opts, tasks:
                 [ShardDelta(0, error="KaboomError: shard exploded")])
-        with pytest.raises(RuntimeConfigError, match="KaboomError"):
-            rt.sharded_parse(tiny_binary().binary)
+        assert rt.sharded_parse(sb.binary).signature() == want
+        assert rt.degradation["level"] == "serial"
+        assert rt.metrics.counter("procs.degraded_to.serial") == 1
+        kinds = [ev["kind"] for ev in rt.fault_events]
+        assert "sharded_parse_failed" in kinds
+        assert any("KaboomError" in step
+                   for step in rt.degradation["steps"])
 
     def test_pool_failure_falls_back_inline(self, monkeypatch):
         import multiprocessing

@@ -115,6 +115,41 @@ def test_procs_matches_serial(name, reference_signatures):
     # The shard fan-out actually ran (and is observable).
     assert rt.metrics.counter("procs.shards") >= 1
     assert rt.shard_deltas is not None
+    # No silent degradation: a healthy run must prove the *sharded*
+    # pipeline correct, not pass because the serial fallback kicked in.
+    assert rt.degradation["level"] == "none"
+    assert rt.fault_events == []
+
+
+#: Fault-plan axis: every injected fault class, exercised on the
+#: corpus programs with real cross-shard structure.  The parse must
+#: survive the fault (whatever rung of the ladder it lands on) and
+#: still reproduce the serial signature byte-for-byte.
+_FAULT_PLANS = {
+    "worker-exc": "exc@0x1",
+    "frag-exc": "frag@1x1",
+    "corrupt-delta": "corrupt@0x1",
+    "truncated-delta": "truncate@1x1",
+    "exhausted-to-serial": "excx99",
+}
+
+
+@pytest.mark.parametrize("name", ["cross-shard-splits", "noreturn-heavy"],
+                         ids=str)
+@pytest.mark.parametrize("plan", sorted(_FAULT_PLANS), ids=str)
+def test_procs_degraded_matches_serial(name, plan, reference_signatures):
+    from repro.runtime.faults import FaultPlan
+
+    sb = _PROGRAMS[name]
+    rt = ProcsRuntime(PROCS_WORKERS, in_process=PROCS_INLINE,
+                      fault_plan=FaultPlan.from_spec(_FAULT_PLANS[plan]),
+                      shard_deadline=30.0)
+    got = parse_binary(sb.binary, rt).signature()
+    assert got == reference_signatures[name]
+    # The fault actually fired and was recorded.
+    assert rt.fault_events, f"plan {plan} injected nothing"
+    if plan == "exhausted-to-serial":
+        assert rt.degradation["level"] == "serial"
 
 
 def test_procs_worker_counts_agree():
