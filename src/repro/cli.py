@@ -6,7 +6,11 @@ Commands:
 - ``parse``     — run parallel CFG construction and print statistics;
 - ``hpcstruct`` — run the structure-recovery pipeline (Figure 2 phases);
 - ``binfeat``   — run feature extraction over a generated corpus;
-- ``check``     — run the correctness checker (Section 8.1);
+- ``check``     — run the correctness checker (Section 8.1); with
+  ``--races`` sweep a workload across seeded schedules under the
+  happens-before race detector, with ``--cfgsan`` parse the corpus with
+  the CFG sanitizer enabled (see docs/SANITY.md);
+- ``lint``      — static accessor-discipline lint over the source tree;
 - ``trace``     — render the Figure-2 timeline plus the metrics table
   for one traced run, optionally exporting the versioned run-report
   JSON (schema: ``docs/OBSERVABILITY.md``).
@@ -266,6 +270,10 @@ def cmd_trace(args) -> int:
 
 
 def cmd_check(args) -> int:
+    if args.races:
+        return _check_races(args)
+    if args.cfgsan:
+        return _check_cfgsan(args)
     from repro.apps.checker import check_binary, summarize
     from repro.synth import coreutils_like_corpus
 
@@ -277,6 +285,101 @@ def cmd_check(args) -> int:
         reports.append(check_binary(sb, cfg))
     print(json.dumps(summarize(reports), indent=2))
     return 0
+
+
+def _emit_race_report(args, report: dict) -> int:
+    text = json.dumps(report, indent=2, sort_keys=True)
+    if args.json:
+        with open(args.json, "w") as f:
+            f.write(text + "\n")
+        print(f"race report written to {args.json}", file=sys.stderr)
+    print(text)
+    return 1 if report["findings"] else 0
+
+
+def _check_races(args) -> int:
+    """Happens-before race sweep: fixture or ground-truth corpus."""
+    from repro.sanity.races import RaceDetector, run_race_sweep
+
+    if args.fixture:
+        from repro.sanity.fixtures import fixture_workload
+
+        try:
+            workload = fixture_workload(args.fixture)
+        except KeyError as e:
+            print(f"error: {e.args[0]}", file=sys.stderr)
+            return 2
+        report = run_race_sweep(
+            workload, n_workers=args.workers,
+            schedules=args.race_schedules, base_seed=args.seed,
+            workload_name=f"fixture:{args.fixture}")
+        return _emit_race_report(args, report)
+
+    from repro.synth import coreutils_like_corpus
+
+    det = RaceDetector()
+    corpus = coreutils_like_corpus(n_binaries=args.n_binaries)
+    for sb in corpus:
+        def workload(rt, binary=sb.binary):
+            parse_binary(binary, rt, ParseOptions())
+
+        run_race_sweep(
+            workload, n_workers=args.workers,
+            schedules=args.race_schedules, base_seed=args.seed,
+            detector=det,
+            workload_name=f"coreutils_like_corpus({args.n_binaries})")
+    report = det.report(
+        workload=f"coreutils_like_corpus({args.n_binaries})",
+        n_workers=args.workers)
+    return _emit_race_report(args, report)
+
+
+def _check_cfgsan(args) -> int:
+    """Parse the corpus with the CFG/op-trace sanitizer enabled."""
+    from repro.errors import SanityCheckError
+    from repro.synth import coreutils_like_corpus
+
+    corpus = coreutils_like_corpus(n_binaries=args.n_binaries)
+    checks = violations = 0
+    failed: list[str] = []
+    for sb in corpus:
+        rt = _make_rt(args)
+        try:
+            parse_binary(sb.binary, rt, ParseOptions(sanitize=True))
+        except SanityCheckError as e:
+            failed.append(sb.binary.name)
+            violations += len(e.findings)
+            print(f"{sb.binary.name}: {len(e.findings)} violation(s) "
+                  f"at {e.where}", file=sys.stderr)
+            for f in e.findings:
+                print(f"  {f}", file=sys.stderr)
+        if rt.metrics.enabled:
+            checks += rt.metrics.counter("sanity.cfgsan.checks")
+    print(json.dumps({
+        "binaries": len(corpus),
+        "checks": checks,
+        "violations": violations,
+        "failed": failed,
+    }, indent=2))
+    return 1 if failed else 0
+
+
+def cmd_lint(args) -> int:
+    from repro.sanity.lint import run_lint
+
+    findings = run_lint(paths=args.paths or None)
+    if args.json:
+        print(json.dumps([
+            {"path": f.path, "line": f.line, "rule": f.rule,
+             "message": f.message}
+            for f in findings
+        ], indent=2))
+    else:
+        for f in findings:
+            print(f"{f.path}:{f.line}: {f.rule}: {f.message}")
+        n = len(findings)
+        print(f"{n} finding(s)" if n else "lint clean", file=sys.stderr)
+    return 1 if findings else 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -307,10 +410,38 @@ def build_parser() -> argparse.ArgumentParser:
     _add_runtime_args(bp)
     bp.set_defaults(fn=cmd_binfeat)
 
-    cp = sub.add_parser("check", help="correctness vs ground truth")
+    cp = sub.add_parser(
+        "check", help="correctness vs ground truth / sanity analyses")
     cp.add_argument("--n-binaries", type=int, default=10)
+    cp.add_argument("--races", action="store_true",
+                    help="sweep seeded vtime schedules under the "
+                         "happens-before race detector instead of the "
+                         "ground-truth checker")
+    cp.add_argument("--cfgsan", action="store_true",
+                    help="parse the corpus with the CFG/op-trace "
+                         "sanitizer enabled; violations fail the run")
+    cp.add_argument("--race-schedules", type=int, default=6, metavar="N",
+                    help="races only: schedules per workload (default 6)")
+    cp.add_argument("--seed", type=int, default=0,
+                    help="races only: base schedule seed (default 0)")
+    cp.add_argument("--fixture", metavar="NAME",
+                    help="races only: sweep a repro.sanity.fixtures "
+                         "workload (e.g. counter-racy) instead of the "
+                         "corpus")
+    cp.add_argument("--json", metavar="PATH",
+                    help="races only: also write the repro.races/1 "
+                         "report to this path")
     _add_runtime_args(cp)
     cp.set_defaults(fn=cmd_check)
+
+    lp = sub.add_parser(
+        "lint", help="static accessor-discipline / determinism lint")
+    lp.add_argument("paths", nargs="*",
+                    help="files or directories to lint "
+                         "(default: the repro source tree)")
+    lp.add_argument("--json", action="store_true",
+                    help="emit findings as JSON")
+    lp.set_defaults(fn=cmd_lint)
 
     tp = sub.add_parser(
         "trace", help="render Figure-2 timeline + metrics for one run")

@@ -43,6 +43,12 @@ if TYPE_CHECKING:  # pragma: no cover
 
 def finalize(parser: "ParallelParser") -> ParsedCFG:
     rt = parser.rt
+    sanitize = getattr(parser, "op_trace", None) is not None
+    if sanitize:
+        # Debug hook: validate the quiesced expansion-phase graph and
+        # the recorded operation trace before correction mutates it.
+        from repro.sanity.cfgsan import run_cfgsan
+        run_cfgsan(parser, "finalize-entry")
     blocks = {start: b for start, b in parser.blocks_by_start.sorted_items()}
     functions = {addr: f for addr, f in parser.functions.sorted_items()}
     tables = [info for _, info in parser.jump_tables.sorted_items()]
@@ -62,8 +68,12 @@ def finalize(parser: "ParallelParser") -> ParsedCFG:
     stats.n_jt_unresolved = sum(1 for t in tables if t.table_addr is None)
     stats.n_jt_overapprox = sum(
         1 for t in tables if t.table_addr is not None and not t.bounded)
-    return ParsedCFG(functions=list(functions.values()),
-                     blocks=live_blocks, jump_tables=tables, stats=stats)
+    cfg = ParsedCFG(functions=list(functions.values()),
+                    blocks=live_blocks, jump_tables=tables, stats=stats)
+    if sanitize:
+        from repro.sanity.cfgsan import run_cfgsan_cfg
+        run_cfgsan_cfg(cfg, rt.metrics, "finalize-exit")
+    return cfg
 
 
 # --------------------------------------------------------------- step 1

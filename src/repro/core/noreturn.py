@@ -160,7 +160,7 @@ class NoReturnState:
         are only ever registered on own-region callees (foreign callees
         are frontier-deferred), so the coordinator can seed the union."""
         out = []
-        for addr, rec in sorted(self._table.items()):
+        for addr, rec in self._table.sorted_items():
             out.append((addr, rec.status, list(rec.waiters),
                         list(rec.tail_waiters)))
         return out

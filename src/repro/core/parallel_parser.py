@@ -27,6 +27,7 @@ semantics and re-analyzed after a function gains more control-flow paths
 
 from __future__ import annotations
 
+import os
 import threading
 from dataclasses import dataclass, field
 from typing import Any
@@ -74,6 +75,10 @@ class ParseOptions:
     #: attempt by the procs backend, never by callers
     #: (:class:`repro.runtime.faults.FaultProbe`; None = no injection).
     fault_probe: Any = None
+    #: record an operation trace and validate the structural invariants
+    #: at quiesced points (finalize, shard merge) — see
+    #: :mod:`repro.sanity.cfgsan`.  Env ``REPRO_CFGSAN=1`` forces it on.
+    sanitize: bool = False
 
 
 @dataclass
@@ -150,6 +155,13 @@ class ParallelParser:
             rt, eager_notify=(self.opts.eager_noreturn_notify
                               and self.opts.task_parallel))
         self.stats = ParseStats()
+        #: operation trace for the cfgsan checker (None = not recording).
+        #: Entries are flat tuples: ("OIEC", block, targets),
+        #: ("OCFEC", block, callee, status), ("OFEI", addr, via),
+        #: ("SPLIT", loser_start, old_end, new_end).
+        self.op_trace: list[tuple] | None = (
+            [] if (self.opts.sanitize
+                   or os.environ.get("REPRO_CFGSAN") == "1") else None)
         self._tl = threading.local()
         self._group = None            # traversal task group
         self._round_discovered: list[Function] = []  # round-mode only
@@ -424,6 +436,11 @@ class ParallelParser:
         rt.charge(rt.cost.block_split)
         rt.metrics.inc("parser.block_splits")
         self.stats.n_splits += 1
+        trace = self.op_trace
+        if trace is not None:
+            loser = other if other.start < blk.start else blk
+            winner_start = blk.start if loser is other else other.start
+            trace.append(("SPLIT", loser.start, e, winner_start))
         if other.start < blk.start:
             # Split the incumbent: it keeps [xo, xb); we take over
             # the end registration and inherit its out-edges.
@@ -478,6 +495,8 @@ class ParallelParser:
                                 discovered_via=via)
                 acc.value = func
                 self.noreturn.init_function(func)
+                if self.op_trace is not None:
+                    self.op_trace.append(("OFEI", addr, via))
                 return func, True, [entry] if created_b else []
             return acc.value, False, [entry] if created_b else []
 
@@ -602,6 +621,9 @@ class ParallelParser:
                                 fallthrough=last.end, callee_addr=target)
         status = self.noreturn.defer(site)
         if status is ReturnStatus.RETURN:
+            if self.op_trace is not None:
+                self.op_trace.append(
+                    ("OCFEC", block.start, target, status.value))
             self._add_intra_target(ctx, block, last.end, EdgeType.CALL_FT)
         # UNSET: deferred (eager notification or a wave releases it).
         # NORETURN: no fall-through edge, ever.
@@ -617,6 +639,9 @@ class ParallelParser:
             if t not in seen:
                 seen.add(t)
                 self._add_intra_target(ctx, block, t, EdgeType.INDIRECT)
+        if self.op_trace is not None:
+            self.op_trace.append(
+                ("OIEC", block.start, tuple(sorted(seen))))
         if info.table_addr is None or not info.bounded:
             ctx.jt_pending.append(block)
 
@@ -641,6 +666,9 @@ class ParallelParser:
                 for t in new:
                     seen.add(t)
                     self._add_intra_target(ctx, block, t, EdgeType.INDIRECT)
+                if self.op_trace is not None:
+                    self.op_trace.append(
+                        ("OIEC", block.start, tuple(sorted(seen))))
             if info.table_addr is None or not info.bounded:
                 still_pending.append(block)
         ctx.jt_pending = still_pending if progress else []
@@ -672,6 +700,10 @@ class ParallelParser:
         if self._foreign(site.fallthrough):
             self._defer_frontier(None, "resume", site=site)
             return
+        if self.op_trace is not None:
+            status = self.noreturn.status_of(site.callee_addr)
+            self.op_trace.append(
+                ("OCFEC", site.block.start, site.callee_addr, status.value))
         call_end = site.block.insns[-1].end if site.block.insns else None
         fb, created = self._ensure_block(site.fallthrough)
         owner = None

@@ -160,7 +160,7 @@ def merge_fragments(binary: LoadedBinary, rt: Runtime,
     frags = [by_shard[sid] for sid in sorted(by_shard)]
 
     with rt.phase("cfg_merge"):
-        t0 = time.perf_counter_ns()
+        t0 = time.perf_counter_ns()  # sanity: allow(wall-clock) coordinator-side metric
         blocks: dict[int, Block] = {}
         n_edges = 0
         for frag in frags:
@@ -207,17 +207,23 @@ def merge_fragments(binary: LoadedBinary, rt: Runtime,
             m.inc("procs.merge.edges", n_edges)
             m.inc("procs.merge.functions", len(funcs))
             m.inc("procs.merge.end_splits", end_splits)
-            m.observe("procs.merge.wall_ns", time.perf_counter_ns() - t0)
+            m.observe("procs.merge.wall_ns", time.perf_counter_ns() - t0)  # sanity: allow(wall-clock) coordinator-side metric
+
+    if getattr(parser, "op_trace", None) is not None:
+        # Debug hook: the merged-from-shards graph must satisfy the
+        # structural invariants before the frontier replay extends it.
+        from repro.sanity.cfgsan import run_cfgsan
+        run_cfgsan(parser, "shard-merge")
 
     with rt.phase("cfg_frontier"):
-        t1 = time.perf_counter_ns()
+        t1 = time.perf_counter_ns()  # sanity: allow(wall-clock) coordinator-side metric
         n_records = sum(len(f.frontier) for f in frags)
         _replay_frontier(parser, frags, blocks, warm_cache)
         parser._noreturn_waves()
         if m.enabled:
             m.inc("procs.frontier.records", n_records)
             m.observe("procs.frontier.replay_wall_ns",
-                      time.perf_counter_ns() - t1)
+                      time.perf_counter_ns() - t1)  # sanity: allow(wall-clock) coordinator-side metric
 
     with rt.phase("cfg_finalize"):
         return finalize(parser)

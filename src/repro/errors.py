@@ -103,5 +103,21 @@ class SimDeadlockError(ReproError):
     """The virtual-time scheduler detected that all workers are blocked."""
 
 
+class SanityCheckError(ReproError):
+    """A sanity analysis (cfgsan / race detector) found a violation.
+
+    Carries the structured findings so callers (CLI, tests) can render
+    or serialize them instead of re-parsing the message text.
+    """
+
+    def __init__(self, where: str, findings: list):
+        lines = "; ".join(str(f) for f in findings[:5])
+        more = f" (+{len(findings) - 5} more)" if len(findings) > 5 else ""
+        super().__init__(
+            f"{len(findings)} sanity violation(s) at {where}: {lines}{more}")
+        self.where = where
+        self.findings = findings
+
+
 class ParseAbortError(ReproError):
     """CFG construction was aborted (internal invariant violation)."""

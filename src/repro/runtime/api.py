@@ -148,6 +148,24 @@ class Runtime(abc.ABC):
     def worker_id(self) -> int:
         """Stable id of the calling worker, in ``range(num_workers)``."""
 
+    # -- race-detector hooks -----------------------------------------------------
+
+    #: True only when a backend is running under a happens-before race
+    #: detector (see :mod:`repro.sanity.races`).  Instrumented shared
+    #: structures check this flag before paying any annotation cost.
+    race_checking: bool = False
+
+    def race_read(self, loc: tuple) -> None:
+        """Report a read of the shared location ``loc`` to the detector.
+
+        No-op unless :attr:`race_checking` is set by the backend.  ``loc``
+        is an arbitrary hashable identity, conventionally a tuple like
+        ``("map", <name>, <key>)``.
+        """
+
+    def race_write(self, loc: tuple) -> None:
+        """Report a write of the shared location ``loc`` to the detector."""
+
     # -- synchronization ---------------------------------------------------------
 
     @abc.abstractmethod

@@ -46,15 +46,21 @@ class Accessor(Generic[V]):
     true.  Reading ``value`` before it was ever set raises ``KeyError``.
     """
 
-    __slots__ = ("_entry", "created", "_key")
+    __slots__ = ("_entry", "created", "_key", "_rt", "_loc")
 
-    def __init__(self, entry: _Entry, created: bool, key: Any):
+    def __init__(self, entry: _Entry, created: bool, key: Any,
+                 rt: Runtime | None = None, loc: tuple | None = None):
         self._entry = entry
         self.created = created
         self._key = key
+        # Race-detector identity of this entry; None when not checking.
+        self._rt = rt
+        self._loc = loc
 
     @property
     def value(self) -> V:
+        if self._rt is not None:
+            self._rt.race_read(self._loc)
         v = self._entry.value
         if v is _MISSING:
             raise KeyError(self._key)
@@ -62,6 +68,8 @@ class Accessor(Generic[V]):
 
     @value.setter
     def value(self, v: V) -> None:
+        if self._rt is not None:
+            self._rt.race_write(self._loc)
         self._entry.value = v
 
     @property
@@ -119,6 +127,10 @@ class ConcurrentHashMap(Generic[K, V]):
             entry = _Entry(rt.make_lock())
             entry.value = init
             shard[key] = entry
+            if rt.race_checking and init is not _MISSING:
+                # Creation installs the value inside the shard critical
+                # section (insert path); report it as a shard-locked write.
+                rt.race_write(("map", self._mname, key))
             self._m.inc(f"map.{self._mname}.created")
             return entry, True
 
@@ -162,7 +174,11 @@ class ConcurrentHashMap(Generic[K, V]):
         else:
             entry.lock.acquire()
         try:
-            yield Accessor(entry, created, key)
+            if self._rt.race_checking:
+                yield Accessor(entry, created, key, self._rt,
+                               ("map", self._mname, key))
+            else:
+                yield Accessor(entry, created, key)
         finally:
             entry.lock.release()
 
@@ -174,17 +190,25 @@ class ConcurrentHashMap(Generic[K, V]):
         but charges one map operation per item so accounted work matches
         per-item ``insert``.  Returns the number of entries created."""
         rt = self._rt
+        check = rt.race_checking
         n_seen = 0
         n_created = 0
         for key, value in items:
             n_seen += 1
             shard = self._shards[self._shard_of(key)]
             entry = shard.get(key)
+            if check:
+                # Deliberately reported as *unlocked* accesses: this path
+                # is only legal in single-writer phases, and the detector
+                # flags any concurrent use (no lock edge exists to hide it).
+                rt.race_read(("map", self._mname, key))
             if entry is not None and entry.value is not _MISSING:
                 continue
             entry = _Entry(rt.make_lock())
             entry.value = value
             shard[key] = entry
+            if check:
+                rt.race_write(("map", self._mname, key))
             n_created += 1
         rt.charge(rt.cost.map_op * n_seen)
         rt.checkpoint()
@@ -197,13 +221,26 @@ class ConcurrentHashMap(Generic[K, V]):
     # -- unsynchronized operations (single-writer or read-only phases) --------
 
     def get(self, key: K, default: Any = None) -> V | Any:
-        """Read a value without locking (read-only phases)."""
+        """Read a value without locking (read-only phases).
+
+        The race detector sees this as an *unlocked* read: it conflicts
+        with any concurrent write of the same entry unless fork-join or
+        lock chains order them — which is exactly the "single-writer or
+        read-only phase" contract this method documents.
+        """
+        rt = self._rt
+        if rt.race_checking:
+            rt.race_read(("map", self._mname, key))
         entry = self._shards[self._shard_of(key)].get(key)
         if entry is None or entry.value is _MISSING:
             return default
         return entry.value
 
     def __contains__(self, key: K) -> bool:
+        # Deliberately not race-annotated: a membership probe is the
+        # paper's legal racy `find` — monotone (entries are never
+        # removed during traversal) and structure-safe, so concurrent
+        # probes carry no ordering obligation.
         entry = self._shards[self._shard_of(key)].get(key)
         return entry is not None and entry.value is not _MISSING
 
@@ -223,13 +260,25 @@ class ConcurrentHashMap(Generic[K, V]):
         self._m.inc(f"map.{self._mname}.ops")
         idx = self._shard_of(key)
         with self._locks[idx]:
+            if rt.race_checking:
+                rt.race_write(("map", self._mname, key))
             return self._shards[idx].pop(key, None) is not None
 
     def items(self) -> Iterator[tuple[K, V]]:
-        """Iterate (unsynchronized; call only when no writers remain)."""
+        """Iterate (unsynchronized; call only when no writers remain).
+
+        Under the race detector every yielded value is an *unlocked*
+        read, so iterating while writers run is reported as a race.
+        Prefer :meth:`items_snapshot` / :meth:`snapshot`, which the
+        accessor-discipline lint accepts.
+        """
+        rt = self._rt
+        check = rt.race_checking
         for shard in self._shards:
             for k, e in shard.items():
                 if e.value is not _MISSING:
+                    if check:
+                        rt.race_read(("map", self._mname, k))
                     yield k, e.value
 
     def keys(self) -> Iterator[K]:
@@ -240,12 +289,44 @@ class ConcurrentHashMap(Generic[K, V]):
         for _, v in self.items():
             yield v
 
+    # -- snapshot API (structure-safe iteration) -------------------------------
+
+    def items_snapshot(self) -> list[tuple[K, V]]:
+        """Copy the live items shard-by-shard under the shard locks.
+
+        Structure-safe against concurrent ``insert``/``remove`` (no
+        dict-mutation-during-iteration hazard, unlike :meth:`items`).
+        Deliberately charge-free, like the unsynchronized iterators it
+        replaces, so migrating call sites does not perturb virtual
+        time.  Visibility of entry *values* still requires the usual
+        happens-before ordering — the race detector models these reads
+        as shard-locked.
+        """
+        rt = self._rt
+        check = rt.race_checking
+        out: list[tuple[K, V]] = []
+        for idx, shard in enumerate(self._shards):
+            with self._locks[idx]:
+                for k, e in shard.items():
+                    v = e.value
+                    if v is not _MISSING:
+                        if check:
+                            rt.race_read(("map", self._mname, k))
+                        out.append((k, v))
+        return out
+
+    def snapshot(self) -> dict[K, V]:
+        """Shard-locked copy of the map as a plain dict."""
+        return dict(self.items_snapshot())
+
     def sorted_items(self, key: Callable[[K], Any] | None = None
                      ) -> list[tuple[K, V]]:
         """Deterministically ordered items, independent of insertion order.
 
         Consumers that must produce identical results regardless of worker
-        count iterate through this.
+        count iterate through this.  Built on :meth:`items_snapshot`, so
+        it is structure-safe like the rest of the snapshot API.
         """
-        return sorted(self.items(), key=(lambda kv: key(kv[0])) if key else
+        return sorted(self.items_snapshot(),
+                      key=(lambda kv: key(kv[0])) if key else
                       (lambda kv: kv[0]))

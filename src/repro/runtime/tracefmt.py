@@ -21,6 +21,7 @@ from typing import Any
 
 from repro.runtime.api import PhaseSpan, Trace, TraceInterval
 from repro.runtime.metrics import METRICS_SCHEMA
+from repro.sanity.races import RACES_SCHEMA
 
 #: Version identifier of the exported run-report JSON document.
 REPORT_SCHEMA = "repro.run-report/1"
@@ -172,7 +173,8 @@ _WALL_CLOCK_BACKENDS = ("threads", "procs")
 _DEGRADATION_LEVELS = ("none", "shard_inline", "inline", "serial")
 
 
-def run_report(rt: Any, workload: str | None = None) -> dict:
+def run_report(rt: Any, workload: str | None = None,
+               races: dict | None = None) -> dict:
     """Assemble the versioned run report for a finished runtime.
 
     Must be called after ``rt.run`` returned (``makespan`` is read).
@@ -203,7 +205,81 @@ def run_report(rt: Any, workload: str | None = None) -> dict:
     if degradation is not None:
         report["degradation"] = {"level": degradation["level"],
                                  "steps": list(degradation["steps"])}
+    # Optional race-sweep section: the ``repro.races/1`` document from
+    # repro.sanity.races.run_race_sweep, attached verbatim.
+    if races is not None:
+        report["races"] = races
     return report
+
+
+_RACE_KINDS = ("read-write", "write-read", "write-write")
+
+
+def validate_races(obj: Any) -> list[str]:
+    """Check a race-sweep report against the ``repro.races/1`` schema.
+
+    Returns a list of human-readable problems; empty means valid.  The
+    document is produced by :func:`repro.sanity.races.run_race_sweep`
+    (also ``repro check --races``) and may appear embedded as the
+    ``races`` section of a run report.
+    """
+    errs: list[str] = []
+
+    def expect(cond: bool, msg: str) -> bool:
+        if not cond:
+            errs.append(msg)
+        return cond
+
+    if not expect(isinstance(obj, dict), "races report is not an object"):
+        return errs
+    expect(obj.get("schema") == RACES_SCHEMA,
+           f"schema is {obj.get('schema')!r}, want {RACES_SCHEMA!r}")
+    expect(isinstance(obj.get("workload"), str),
+           "workload must be a string")
+    expect(isinstance(obj.get("n_workers"), int)
+           and not isinstance(obj.get("n_workers"), bool)
+           and obj.get("n_workers", -1) >= 0,
+           "n_workers must be an int >= 0")
+    seeds = obj.get("seeds")
+    if expect(isinstance(seeds, list), "seeds must be a list"):
+        for i, s in enumerate(seeds):
+            expect(s is None or (isinstance(s, int)
+                                 and not isinstance(s, bool)),
+                   f"seeds[{i}] must be int|null")
+        expect(obj.get("schedules") == len(seeds),
+               f"schedules is {obj.get('schedules')!r}, want len(seeds) "
+               f"= {len(seeds)}")
+    expect(isinstance(obj.get("events"), int)
+           and not isinstance(obj.get("events"), bool)
+           and obj.get("events", -1) >= 0,
+           "events must be an int >= 0")
+    findings = obj.get("findings")
+    if not expect(isinstance(findings, list), "findings must be a list"):
+        return errs
+    for i, f in enumerate(findings):
+        if not expect(isinstance(f, dict),
+                      f"findings[{i}] must be an object"):
+            continue
+        expect(isinstance(f.get("location"), str),
+               f"findings[{i}]: location must be a string")
+        expect(f.get("kind") in _RACE_KINDS,
+               f"findings[{i}]: kind is {f.get('kind')!r}, want one of "
+               f"{_RACE_KINDS!r}")
+        sites = f.get("sites")
+        if expect(isinstance(sites, list) and len(sites) == 2,
+                  f"findings[{i}]: sites must be a 2-element list"):
+            for j, s in enumerate(sites):
+                expect(isinstance(s, str),
+                       f"findings[{i}]: sites[{j}] must be a string")
+        expect(isinstance(f.get("count"), int)
+               and not isinstance(f.get("count"), bool)
+               and f.get("count", 0) >= 1,
+               f"findings[{i}]: count must be an int >= 1")
+        fs = f.get("first_seed")
+        expect(fs is None or (isinstance(fs, int)
+                              and not isinstance(fs, bool)),
+               f"findings[{i}]: first_seed must be int|null")
+    return errs
 
 
 def validate_bench_procs(obj: Any) -> list[str]:
@@ -376,6 +452,9 @@ def validate_report(obj: Any) -> list[str]:
                 for i, s in enumerate(steps):
                     expect(isinstance(s, str),
                            f"degradation.steps[{i}] must be a string")
+
+    if "races" in obj and obj["races"] is not None:
+        errs.extend(f"races: {e}" for e in validate_races(obj["races"]))
 
     trace = obj.get("trace")
     if trace is not None:

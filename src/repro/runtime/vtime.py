@@ -37,6 +37,7 @@ changes.
 from __future__ import annotations
 
 import enum
+import random
 import threading
 from collections import deque
 from collections.abc import Callable
@@ -60,10 +61,11 @@ class _State(enum.Enum):
 
 
 class _Worker:
-    __slots__ = ("wid", "clock", "busy", "state", "cond", "thread")
+    __slots__ = ("wid", "rank", "clock", "busy", "state", "cond", "thread")
 
     def __init__(self, wid: int, mon: threading.Lock):
         self.wid = wid
+        self.rank = wid  # tie-break rank; permuted under a schedule seed
         self.clock = 0
         self.busy = 0
         self.state = _State.NEW
@@ -72,7 +74,7 @@ class _Worker:
 
     @property
     def key(self) -> tuple[int, int]:
-        return (self.clock, self.wid)
+        return (self.clock, self.rank)
 
 
 @dataclass(slots=True)
@@ -82,6 +84,7 @@ class _Task:
     group: "_VtGroup"
     spawn_clock: int
     tag: str
+    race_token: Any = None
 
 
 class _NoOpLock(RtLock):
@@ -92,6 +95,33 @@ class _NoOpLock(RtLock):
 
     def release(self) -> None:
         pass
+
+
+class _ObservedNoOpLock(RtLock):
+    """Internal lock that reports acquire/release to a race detector.
+
+    Execution stays token-serialized (no blocking needed), but the
+    detector must still see the happens-before edges these sections
+    create — e.g. a map shard lock ordering entry creation before a
+    later lock-free ``get`` of the same shard.
+    """
+
+    __slots__ = ("_rt",)
+
+    def __init__(self, rt: "VirtualTimeRuntime"):
+        self._rt = rt
+
+    def acquire(self) -> None:
+        rt = self._rt
+        w = getattr(rt._local, "worker", None)
+        if w is not None:
+            rt._race.on_acquire(w.wid, id(self))
+
+    def release(self) -> None:
+        rt = self._rt
+        w = getattr(rt._local, "worker", None)
+        if w is not None:
+            rt._race.on_release(w.wid, id(self))
 
 
 class SimLock(RtLock):
@@ -112,6 +142,8 @@ class SimLock(RtLock):
             rt.metrics.inc("lock.acquires")
             if self._owner is None:
                 self._owner = w.wid
+                if rt._race is not None:
+                    rt._race.on_acquire(w.wid, id(self))
                 return
             if self._owner == w.wid:
                 raise RuntimeConfigError("recursive SimLock acquisition")
@@ -123,6 +155,8 @@ class SimLock(RtLock):
             rt._wait_for_token(w)
             # Resumed by release(): we are the owner now.
             assert self._owner == w.wid
+            if rt._race is not None:
+                rt._race.on_acquire(w.wid, id(self))
             rt.metrics.observe("lock.park", w.clock - parked_at)
 
     def release(self) -> None:
@@ -132,6 +166,8 @@ class SimLock(RtLock):
             if self._owner != w.wid:
                 raise RuntimeConfigError("SimLock released by non-owner")
             rt._event(w)
+            if rt._race is not None:
+                rt._race.on_release(w.wid, id(self))
             if self._waiters:
                 nxt = min(self._waiters, key=lambda x: x.key)
                 self._waiters.remove(nxt)
@@ -156,12 +192,15 @@ class _VtGroup(TaskGroup):
         w = rt._me()
         with rt._mon:
             rt._event(w)
-            w.clock += rt.cost.spawn
+            w.clock += rt.cost.spawn + rt._jitter()
             w.busy += rt.cost.spawn
             rt.metrics.inc("rt.tasks_spawned")
             self._pending += 1
+            token = (rt._race.on_spawn(w.wid)
+                     if rt._race is not None else None)
             rt._queue.append(_Task(fn, args, self, w.clock,
-                                   getattr(fn, "__name__", "task")))
+                                   getattr(fn, "__name__", "task"),
+                                   token))
             rt._wake_idle(w.clock)
 
     def wait(self) -> None:
@@ -172,6 +211,8 @@ class _VtGroup(TaskGroup):
                 rt._event(w)
                 if self._pending == 0:
                     w.clock = max(w.clock, self._completion)
+                    if rt._race is not None:
+                        rt._race.on_group_wait(w.wid, id(self))
                     return
                 if rt._queue:
                     task = rt._pop_task(w)
@@ -188,6 +229,8 @@ class _VtGroup(TaskGroup):
 
     # Called with the monitor held, by the worker finishing a member task.
     def _task_done(self, rt: "VirtualTimeRuntime", w: _Worker) -> None:
+        if rt._race is not None:
+            rt._race.on_task_done(w.wid, id(self))
         self._pending -= 1
         if self._pending == 0:
             self._completion = max(self._completion, w.clock)
@@ -206,6 +249,8 @@ class VirtualTimeRuntime(Runtime):
         cost_model: CostModel | None = None,
         enable_trace: bool = False,
         enable_metrics: bool = True,
+        schedule_seed: int | None = None,
+        race_detector: "Any | None" = None,
     ):
         if n_workers < 1:
             raise RuntimeConfigError("need at least one worker")
@@ -216,6 +261,22 @@ class VirtualTimeRuntime(Runtime):
                         if enable_metrics else NULL_METRICS)
         self._mon = threading.Lock()
         self._workers = [_Worker(i, self._mon) for i in range(n_workers)]
+        # Schedule sweeping: a seed deterministically perturbs the
+        # schedule (tie-break ranks + small spawn/pop clock jitter)
+        # without changing any charged work, so a sweep over seeds
+        # explores distinct interleavings while every individual run
+        # stays bit-reproducible.  Seed None keeps the historical
+        # schedule exactly (jitter 0, rank == wid).
+        self.schedule_seed = schedule_seed
+        self._rng: random.Random | None = None
+        if schedule_seed is not None:
+            self._rng = random.Random(schedule_seed)
+            ranks = list(range(n_workers))
+            self._rng.shuffle(ranks)
+            for w, r in zip(self._workers, ranks):
+                w.rank = r
+        self._race = race_detector
+        self.race_checking = race_detector is not None
         self._queue: deque[_Task] = deque()
         self._current: int | None = None
         self._stop = False
@@ -243,7 +304,26 @@ class VirtualTimeRuntime(Runtime):
         return SimLock(self)
 
     def make_internal_lock(self) -> RtLock:
+        if self._race is not None:
+            return _ObservedNoOpLock(self)
         return _NoOpLock()
+
+    def race_read(self, loc: tuple) -> None:
+        if self._race is not None:
+            w = getattr(self._local, "worker", None)
+            if w is not None:
+                self._race.read(w.wid, loc)
+
+    def race_write(self, loc: tuple) -> None:
+        if self._race is not None:
+            w = getattr(self._local, "worker", None)
+            if w is not None:
+                self._race.write(w.wid, loc)
+
+    def _jitter(self) -> int:
+        """Seeded schedule perturbation (0 without a schedule seed)."""
+        rng = self._rng
+        return rng.randrange(0, 4) if rng is not None else 0
 
     def checkpoint(self) -> None:
         """Explicit virtual-time order point (see parallel_for)."""
@@ -262,6 +342,8 @@ class VirtualTimeRuntime(Runtime):
         if self._ran:
             raise RuntimeConfigError("runtime instances are single-use")
         self._ran = True
+        if self._race is not None:
+            self._race.begin_run(self.num_workers, self.schedule_seed)
         w0 = self._workers[0]
         self._local.worker = w0
         for w in self._workers[1:]:
@@ -291,6 +373,8 @@ class VirtualTimeRuntime(Runtime):
             assert w.thread is not None
             w.thread.join()
         self._finished = True
+        if self._race is not None:
+            self._race.end_run()
         if self._error is not None:
             raise self._error
         return result
@@ -414,12 +498,15 @@ class VirtualTimeRuntime(Runtime):
             m.inc("rt.tasks_executed")
             m.observe("rt.task_queue_delay",
                       max(w.clock, task.spawn_clock) - task.spawn_clock)
-        w.clock = max(w.clock, task.spawn_clock) + self.cost.task_pop
+        w.clock = max(w.clock, task.spawn_clock) + self.cost.task_pop \
+            + self._jitter()
         w.busy += self.cost.task_pop
         return task
 
     def _run_task(self, w: _Worker, task: _Task) -> None:
         start = w.clock
+        if self._race is not None:
+            self._race.on_task_start(w.wid, task.race_token)
         try:
             task.fn(*task.args)
         except BaseException as exc:

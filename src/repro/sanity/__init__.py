@@ -1,0 +1,37 @@
+"""Correctness tooling for the parallel CFG reproduction.
+
+Three cooperating analyses (see docs/SANITY.md):
+
+- :mod:`repro.sanity.races` — a vector-clock happens-before race
+  detector layered on the virtual-time runtime, swept across seeded
+  schedules.
+- :mod:`repro.sanity.cfgsan` — a CFG/operation-trace sanitizer
+  validating the paper's five structural invariants and the ordering
+  legality of the six core operations.
+- :mod:`repro.sanity.lint` — a static AST lint enforcing accessor
+  discipline and worker-path determinism rules.
+"""
+
+from repro.sanity.cfgsan import (
+    SanityFinding,
+    check_cfg,
+    check_op_trace,
+    check_parser_state,
+    run_cfgsan,
+    run_cfgsan_cfg,
+)
+from repro.sanity.lint import LintFinding, run_lint
+from repro.sanity.races import RaceDetector, run_race_sweep
+
+__all__ = [
+    "LintFinding",
+    "RaceDetector",
+    "SanityFinding",
+    "check_cfg",
+    "check_op_trace",
+    "check_parser_state",
+    "run_cfgsan",
+    "run_cfgsan_cfg",
+    "run_lint",
+    "run_race_sweep",
+]

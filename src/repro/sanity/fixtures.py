@@ -1,0 +1,122 @@
+"""Intentionally-buggy (and matching safe) workloads for the race sweep.
+
+Each fixture is a tiny task-parallel workload over one
+:class:`~repro.runtime.conchash.ConcurrentHashMap`.  The safe variants
+follow the accessor discipline and stay race-free under every
+schedule; each racy variant removes exactly one piece of that
+discipline, reproducing a bug class the detector must catch:
+
+- ``counter-racy`` — the read half of a read-modify-write moved out of
+  the accessor scope (a lock-free ``get`` feeding an accessor write):
+  the atomicity bug the paper's Listing 5 accessor prevents.
+- ``iteration-racy`` — unsynchronized ``items()`` iteration while
+  writer tasks are still running: the hazard conchash's docstring
+  warns about and the lint flags statically.
+
+These are the regression anchors for ``repro check --races``: the
+acceptance test pins that the racy twins are caught within a small
+schedule sweep while the safe twins stay clean.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Any
+
+from repro.runtime.conchash import ConcurrentHashMap
+
+_N_TASKS = 6
+_N_KEYS = 2
+
+
+def _counter_workload(buggy: bool) -> Callable[[Any], None]:
+    def workload(rt: Any) -> None:
+        m: ConcurrentHashMap[int, int] = ConcurrentHashMap(rt, name="fixture")
+
+        def bump_safe(i: int) -> None:
+            rt.charge(3)
+            with m.accessor(i % _N_KEYS) as acc:
+                acc.value = acc.value + 1
+
+        def bump_racy(i: int) -> None:
+            rt.charge(3)
+            # BUG: the read happens outside the accessor scope, so the
+            # increment is not atomic — and the lock-free get() races
+            # with sibling accessor writes.
+            stale = m.get(i % _N_KEYS, 0)
+            rt.charge(2)
+            with m.accessor(i % _N_KEYS) as acc:
+                acc.value = stale + 1
+
+        def body() -> None:
+            for k in range(_N_KEYS):
+                m.insert(k, 0)
+            g = rt.task_group()
+            for i in range(_N_TASKS):
+                g.spawn(bump_racy if buggy else bump_safe, i)
+            g.wait()
+
+        rt.run(body)
+
+    return workload
+
+
+def _iteration_workload(buggy: bool) -> Callable[[Any], None]:
+    def workload(rt: Any) -> None:
+        m: ConcurrentHashMap[int, int] = ConcurrentHashMap(rt, name="fixture")
+
+        def writer(i: int) -> None:
+            rt.charge(4)
+            with m.accessor(i) as acc:
+                acc.value = i * i
+
+        def reader() -> None:
+            rt.charge(2)
+            if buggy:
+                # BUG: unsynchronized iteration while writers run.
+                pairs = m.items()  # sanity: allow(unsync-iteration) fixture
+                total = sum(v for _, v in pairs)
+            else:
+                # Concurrent reads go through entry accessors; whole-map
+                # iteration waits for the join below.  (items_snapshot is
+                # structure-safe but does not exclude entry-locked
+                # writers, so it is not value-synchronized mid-run.)
+                total = 0
+                for k in range(_N_TASKS):
+                    with m.accessor(k) as acc:
+                        total += acc.value
+            rt.charge(max(total % 3, 1))
+
+        def body() -> None:
+            for k in range(_N_TASKS):
+                m.insert(k, 0)
+            g = rt.task_group()
+            for i in range(_N_TASKS):
+                g.spawn(writer, i)
+            g.spawn(reader)
+            g.wait()
+            # Post-join iteration is always legal: no writers remain.
+            sum(v for _, v in m.items_snapshot())
+
+        rt.run(body)
+
+    return workload
+
+
+#: name -> workload(rt); the ``-racy`` twins must be caught by the
+#: sweep, the ``-safe`` twins must stay clean.
+FIXTURES: dict[str, Callable[[Any], None]] = {
+    "counter-safe": _counter_workload(buggy=False),
+    "counter-racy": _counter_workload(buggy=True),
+    "iteration-safe": _iteration_workload(buggy=False),
+    "iteration-racy": _iteration_workload(buggy=True),
+}
+
+
+def fixture_workload(name: str) -> Callable[[Any], None]:
+    try:
+        return FIXTURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown fixture {name!r}; choose from {sorted(FIXTURES)}"
+        ) from None

@@ -7,6 +7,7 @@ from repro.runtime.api import PhaseSpan, Trace, TraceInterval
 from repro.runtime.cost import CostModel
 from repro.runtime.tracefmt import (
     BENCH_PROCS_SCHEMA,
+    RACES_SCHEMA,
     render_metrics,
     render_phase_table,
     render_trace,
@@ -14,6 +15,7 @@ from repro.runtime.tracefmt import (
     trace_from_json,
     trace_to_json,
     validate_bench_procs,
+    validate_races,
     validate_report,
 )
 
@@ -259,3 +261,66 @@ class TestBenchProcsValidator:
         doc = self._sidecar()
         doc["scale"] = 0
         assert any("scale" in p for p in validate_bench_procs(doc))
+
+
+class TestRacesValidator:
+    """The repro.races/1 schema and its run-report embedding."""
+
+    @staticmethod
+    def _swept_report(fixture="counter-racy", schedules=3):
+        from repro.sanity.fixtures import fixture_workload
+        from repro.sanity.races import run_race_sweep
+
+        return run_race_sweep(fixture_workload(fixture), n_workers=4,
+                              schedules=schedules, workload_name=fixture)
+
+    def test_real_sweep_report_validates(self):
+        rep = self._swept_report()
+        assert rep["schema"] == RACES_SCHEMA
+        assert validate_races(rep) == []
+        assert rep["findings"], "racy fixture must produce findings"
+
+    def test_clean_sweep_report_validates(self):
+        rep = self._swept_report("counter-safe")
+        assert validate_races(rep) == []
+        assert rep["findings"] == []
+
+    def test_embedded_races_section_validates(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE)
+        rt.run(lambda: rt.charge(3))
+        doc = run_report(rt, workload="w", races=self._swept_report())
+        assert validate_report(doc) == []
+        assert doc["races"]["schema"] == RACES_SCHEMA
+        # The embedded section must survive a JSON round-trip.
+        assert validate_report(json.loads(json.dumps(doc))) == []
+
+    def test_report_without_races_section_still_validates(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE)
+        rt.run(lambda: rt.charge(3))
+        doc = run_report(rt, workload="w")
+        assert "races" not in doc
+        assert validate_report(doc) == []
+
+    def test_corrupt_races_reports_are_flagged(self):
+        assert validate_races("not a dict")
+        assert any("schema" in e
+                   for e in validate_races({"schema": "nope"}))
+        rep = self._swept_report()
+        bad = dict(rep, schedules=rep["schedules"] + 1)
+        assert any("schedules" in e for e in validate_races(bad))
+        bad = dict(rep)
+        bad["findings"] = [dict(rep["findings"][0], kind="explosion")]
+        assert any("kind" in e for e in validate_races(bad))
+        bad = dict(rep)
+        bad["findings"] = [dict(rep["findings"][0], sites=["only-one"])]
+        assert any("sites" in e for e in validate_races(bad))
+        bad = dict(rep)
+        bad["findings"] = [dict(rep["findings"][0], count=0)]
+        assert any("count" in e for e in validate_races(bad))
+
+    def test_corrupt_embedded_section_fails_the_run_report(self):
+        rt = VirtualTimeRuntime(2, cost_model=FREE)
+        rt.run(lambda: rt.charge(3))
+        doc = run_report(rt, workload="w", races=self._swept_report())
+        doc["races"]["schema"] = "nope"
+        assert any(e.startswith("races:") for e in validate_report(doc))

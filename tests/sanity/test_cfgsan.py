@@ -1,0 +1,170 @@
+"""cfgsan tests: clean on real parses, corruption negatives, op traces."""
+
+import pytest
+
+from repro.core.cfg import Edge, EdgeType
+from repro.core.parallel_parser import ParallelParser, ParseOptions, \
+    parse_binary
+from repro.errors import SanityCheckError
+from repro.runtime import make_runtime
+from repro.runtime.procs import ProcsRuntime
+from repro.sanity.cfgsan import (
+    check_cfg,
+    check_op_trace,
+    check_parser_state,
+    run_cfgsan,
+)
+from repro.synth import tiny_binary
+
+
+def _parsed(sanitize=True, backend="serial", workers=1):
+    """A completed parse; returns (rt, parser, cfg)."""
+    sb = tiny_binary()
+    rt = make_runtime(backend, workers)
+    parser = ParallelParser(sb.binary, rt, ParseOptions(sanitize=sanitize))
+    box = []
+    rt.run(lambda: box.append(parser.execute()))
+    return rt, parser, box[0]
+
+
+class TestCleanParses:
+    @pytest.mark.parametrize("backend,workers", [("serial", 1),
+                                                 ("vtime", 4)])
+    def test_sanitized_parse_passes_and_records_metrics(self, backend,
+                                                        workers):
+        rt, parser, cfg = _parsed(backend=backend, workers=workers)
+        assert parser.op_trace, "sanitize=True must record a trace"
+        # finalize ran both hooks without raising; counters prove it.
+        assert rt.metrics.counter("sanity.cfgsan.checks") == 2
+        assert rt.metrics.counter("sanity.cfgsan.violations") == 0
+        assert check_cfg(cfg) == []
+
+    def test_sanitize_off_records_no_trace_and_no_checks(self):
+        rt, parser, _ = _parsed(sanitize=False)
+        assert parser.op_trace is None
+        assert rt.metrics.counter("sanity.cfgsan.checks") == 0
+
+    def test_env_var_enables_the_trace(self, monkeypatch):
+        monkeypatch.setenv("REPRO_CFGSAN", "1")
+        rt, parser, _ = _parsed(sanitize=False)
+        assert parser.op_trace
+
+    def test_sanitized_signature_matches_unsanitized(self):
+        sb = tiny_binary()
+        sigs = []
+        for sanitize in (False, True):
+            rt = make_runtime("vtime", 4)
+            cfg = parse_binary(sb.binary, rt, ParseOptions(sanitize=sanitize))
+            sigs.append(cfg.signature())
+        assert sigs[0] == sigs[1]
+
+    def test_procs_shard_merge_hook_passes(self):
+        sb = tiny_binary()
+        rt = ProcsRuntime(2, in_process=True)
+        cfg = parse_binary(sb.binary, rt, ParseOptions(sanitize=True))
+        # shard-merge hook + finalize entry/exit all ran clean.
+        assert rt.metrics.counter("sanity.cfgsan.checks") >= 3
+        assert rt.metrics.counter("sanity.cfgsan.violations") == 0
+        assert check_cfg(cfg) == []
+
+
+class TestStructuralNegatives:
+    def test_block_start_key_mismatch_is_caught(self):
+        _, parser, _ = _parsed()
+        start, blk = parser.blocks_by_start.sorted_items()[0]
+        parser.blocks_by_start.insert(start + 1, blk)
+        rules = {f.rule for f in check_parser_state(parser)}
+        assert "block-start" in rules
+
+    def test_double_end_registration_is_caught(self):
+        _, parser, _ = _parsed()
+        items = parser.block_ends.sorted_items()
+        (end_a, blk_a), (end_b, _) = items[0], items[1]
+        parser.block_ends.remove(end_b)
+        parser.block_ends.insert(end_b, blk_a)
+        findings = check_parser_state(parser)
+        assert any(f.rule == "block-end" for f in findings)
+
+    def test_broken_edge_symmetry_is_caught(self):
+        _, parser, _ = _parsed()
+        blk = next(b for _, b in parser.blocks_by_start.sorted_items()
+                   if b.out_edges)
+        e = blk.out_edges[0]
+        e.dst.in_edges.remove(e)
+        rules = {f.rule for f in check_parser_state(parser)}
+        assert "edge-symmetry" in rules
+
+    def test_overlapping_blocks_are_caught(self):
+        _, parser, _ = _parsed()
+        blocks = [b for _, b in parser.blocks_by_start.sorted_items()
+                  if not b.is_empty]
+        blocks.sort(key=lambda b: b.start)
+        # Stretch one block into its successor's range.
+        blocks[0].end = blocks[1].start + 1
+        findings = check_parser_state(parser)
+        assert any(f.rule in ("block-overlap", "block-end")
+                   for f in findings)
+
+    def test_function_entry_mismatch_is_caught(self):
+        _, parser, _ = _parsed()
+        addr, func = parser.functions.sorted_items()[0]
+        parser.functions.insert(addr + 1, func)
+        rules = {f.rule for f in check_parser_state(parser)}
+        assert "function-entry" in rules
+
+    def test_final_cfg_negative(self):
+        _, _, cfg = _parsed()
+        blk = next(b for b in cfg.blocks() if b.out_edges)
+        ghost = Edge(blk, blk, EdgeType.DIRECT)
+        blk.out_edges.append(ghost)  # not mirrored into in_edges
+        assert any(f.rule == "edge-symmetry" for f in check_cfg(cfg))
+
+    def test_run_cfgsan_raises_with_findings_and_metrics(self):
+        rt, parser, _ = _parsed()
+        start, blk = parser.blocks_by_start.sorted_items()[0]
+        parser.blocks_by_start.insert(start + 1, blk)
+        before = rt.metrics.counter("sanity.cfgsan.violations")
+        with pytest.raises(SanityCheckError) as exc:
+            run_cfgsan(parser, "test-hook")
+        assert exc.value.where == "test-hook"
+        assert exc.value.findings
+        assert rt.metrics.counter("sanity.cfgsan.violations") > before
+
+    def test_run_cfgsan_can_collect_instead_of_raise(self):
+        _, parser, _ = _parsed()
+        start, blk = parser.blocks_by_start.sorted_items()[0]
+        parser.blocks_by_start.insert(start + 1, blk)
+        findings = run_cfgsan(parser, "collect", raise_on_violation=False)
+        assert findings
+
+
+class TestOpTraceLegality:
+    def test_clean_recorded_trace_is_legal(self):
+        _, parser, _ = _parsed()
+        assert check_op_trace(parser.op_trace) == []
+
+    def test_oiec_must_be_monotone(self):
+        trace = [("OIEC", 0x100, (1, 2, 3)), ("OIEC", 0x100, (1, 2))]
+        assert [f.rule for f in check_op_trace(trace)] == ["oiec-monotone"]
+
+    def test_oiec_superset_is_legal(self):
+        trace = [("OIEC", 0x100, (1, 2)), ("OIEC", 0x100, (1, 2, 3))]
+        assert check_op_trace(trace) == []
+
+    def test_ocfec_requires_returning_callee(self):
+        trace = [("OCFEC", 0x100, 0x200, "noreturn")]
+        assert [f.rule for f in check_op_trace(trace)] == ["ocfec-order"]
+        assert check_op_trace([("OCFEC", 0x100, 0x200, "return")]) == []
+
+    def test_ofei_must_be_unique(self):
+        trace = [("OFEI", 0x200, "call"), ("OFEI", 0x200, "tailcall")]
+        assert [f.rule for f in check_op_trace(trace)] == ["ofei-unique"]
+
+    def test_split_must_strictly_decrease(self):
+        assert check_op_trace([("SPLIT", 0x100, 0x120, 0x110)]) == []
+        bad = [("SPLIT", 0x100, 0x120, 0x120)]
+        assert [f.rule for f in check_op_trace(bad)] == ["split-decreasing"]
+
+    def test_empty_or_absent_trace_is_legal(self):
+        assert check_op_trace(None) == []
+        assert check_op_trace([]) == []

@@ -1,0 +1,203 @@
+"""Race detector tests: HB units, fixtures, determinism, battery pin."""
+
+import json
+
+import pytest
+
+from repro.core.parallel_parser import ParseOptions, parse_binary
+from repro.runtime.conchash import ConcurrentHashMap
+from repro.runtime.metrics import MetricsRegistry
+from repro.runtime.vtime import VirtualTimeRuntime
+from repro.sanity.fixtures import FIXTURES, fixture_workload
+from repro.sanity.races import RACES_SCHEMA, RaceDetector, run_race_sweep
+from repro.synth import tiny_binary
+
+
+class TestDetectorUnits:
+    """Drive the vector-clock core directly, no runtime involved."""
+
+    def _det(self, n=2):
+        det = RaceDetector()
+        det.begin_run(n, seed=0)
+        return det
+
+    def test_unordered_write_read_is_flagged(self):
+        det = self._det()
+        det.write(0, "x", site="a")
+        det.read(1, "x", site="b")
+        assert [k[1] for k in det.findings] == ["write-read"]
+
+    def test_unordered_write_write_is_flagged(self):
+        det = self._det()
+        det.write(0, "x", site="a")
+        det.write(1, "x", site="b")
+        kinds = sorted(k[1] for k in det.findings)
+        assert "write-write" in kinds
+
+    def test_read_then_write_unordered_is_flagged(self):
+        det = self._det()
+        det.read(0, "x", site="a")
+        det.write(1, "x", site="b")
+        assert [k[1] for k in det.findings] == ["read-write"]
+
+    def test_spawn_token_orders_parent_before_child(self):
+        det = self._det()
+        det.write(0, "x", site="a")
+        token = det.on_spawn(0)
+        det.on_task_start(1, token)
+        det.read(1, "x", site="b")
+        det.write(1, "x", site="b")
+        assert det.findings == {}
+
+    def test_group_wait_orders_child_before_waiter(self):
+        det = self._det()
+        token = det.on_spawn(0)
+        det.on_task_start(1, token)
+        det.write(1, "x", site="child")
+        det.on_task_done(1, group_id=7)
+        det.on_group_wait(0, group_id=7)
+        det.read(0, "x", site="waiter")
+        assert det.findings == {}
+
+    def test_wait_without_task_done_does_not_order(self):
+        det = self._det()
+        det.write(1, "x", site="child")
+        det.on_group_wait(0, group_id=7)
+        det.read(0, "x", site="waiter")
+        assert [k[1] for k in det.findings] == ["write-read"]
+
+    def test_lock_release_acquire_orders_critical_sections(self):
+        det = self._det()
+        det.on_acquire(0, lock_id=1)
+        det.write(0, "x", site="a")
+        det.on_release(0, lock_id=1)
+        det.on_acquire(1, lock_id=1)
+        det.write(1, "x", site="b")
+        det.on_release(1, lock_id=1)
+        assert det.findings == {}
+
+    def test_distinct_locks_do_not_order(self):
+        det = self._det()
+        det.on_acquire(0, lock_id=1)
+        det.write(0, "x", site="a")
+        det.on_release(0, lock_id=1)
+        det.on_acquire(1, lock_id=2)
+        det.write(1, "x", site="b")
+        det.on_release(1, lock_id=2)
+        assert [k[1] for k in det.findings] == ["write-write"]
+
+    def test_same_worker_never_races_itself(self):
+        det = self._det()
+        det.write(0, "x", site="a")
+        det.read(0, "x", site="a")
+        det.write(0, "x", site="a")
+        assert det.findings == {}
+
+    def test_findings_dedup_and_count(self):
+        det = self._det()
+        det.write(0, "x", site="a")
+        det.read(1, "x", site="b")
+        det.read(1, "x", site="b")
+        assert len(det.findings) == 1
+        (rec,) = det.findings.values()
+        assert rec["count"] == 2 and rec["first_seed"] == 0
+
+    def test_begin_run_resets_location_state(self):
+        det = self._det()
+        det.write(0, "x", site="a")
+        det.begin_run(2, seed=1)
+        det.read(1, "x", site="b")
+        assert det.findings == {}
+        assert det.seeds == [0, 1]
+
+
+class TestFixtures:
+    def test_safe_twins_are_clean(self):
+        for name in ("counter-safe", "iteration-safe"):
+            rep = run_race_sweep(fixture_workload(name), n_workers=4,
+                                 schedules=6, workload_name=name)
+            assert rep["findings"] == [], (name, rep["findings"])
+
+    def test_racy_twins_are_caught_within_the_sweep(self):
+        for name in ("counter-racy", "iteration-racy"):
+            rep = run_race_sweep(fixture_workload(name), n_workers=4,
+                                 schedules=6, workload_name=name)
+            assert rep["findings"], name
+            assert all(f["count"] >= 1 for f in rep["findings"])
+
+    def test_racy_counter_blames_the_fixture_get_site(self):
+        rep = run_race_sweep(fixture_workload("counter-racy"),
+                             n_workers=4, schedules=6)
+        sites = {s for f in rep["findings"] for s in f["sites"]}
+        assert any("fixtures.py" in s for s in sites)
+        assert all(f["location"].startswith("map.fixture[")
+                   for f in rep["findings"])
+
+    def test_unknown_fixture_raises(self):
+        with pytest.raises(KeyError):
+            fixture_workload("nope")
+        assert set(FIXTURES) == {"counter-safe", "counter-racy",
+                                 "iteration-safe", "iteration-racy"}
+
+
+class TestDeterminism:
+    def test_same_seed_byte_identical_report(self):
+        reps = [
+            run_race_sweep(fixture_workload("counter-racy"), n_workers=4,
+                           schedules=5, base_seed=3,
+                           workload_name="counter-racy")
+            for _ in range(2)
+        ]
+        a, b = (json.dumps(r, sort_keys=True) for r in reps)
+        assert a == b
+
+    def test_report_shape(self):
+        rep = run_race_sweep(fixture_workload("counter-safe"), n_workers=4,
+                             schedules=3, base_seed=5, workload_name="w")
+        assert rep["schema"] == RACES_SCHEMA
+        assert rep["seeds"] == [5, 6, 7]
+        assert rep["schedules"] == 3
+        assert rep["workload"] == "w" and rep["n_workers"] == 4
+        assert rep["events"] > 0
+
+    def test_seed_zero_differs_from_unseeded_schedule_only_in_timing(self):
+        # schedule_seed perturbs scheduling, never results.
+        outs = []
+        for seed in (None, 0, 1):
+            rt = VirtualTimeRuntime(4, schedule_seed=seed)
+            out = []
+
+            def body(rt=rt, out=out):
+                m = ConcurrentHashMap(rt, name="m")
+                g = rt.task_group()
+                for i in range(8):
+                    g.spawn(lambda i=i: m.insert(i, i * 2))
+                g.wait()
+                out.append(m.sorted_items())
+
+            rt.run(body)
+            outs.append(out[0])
+        assert outs[0] == outs[1] == outs[2]
+
+    def test_metrics_recorded_when_registry_passed(self):
+        m = MetricsRegistry()
+        run_race_sweep(fixture_workload("counter-racy"), n_workers=4,
+                       schedules=4, metrics=m)
+        assert m.counter("sanity.race.schedules") == 4
+        assert m.counter("sanity.race.events") > 0
+        assert m.counter("sanity.race.findings") >= 1
+
+
+class TestBatteryPin:
+    """Regression anchor: the real parser is race-clean (satellite b)."""
+
+    def test_tiny_parse_is_race_clean_across_schedules(self):
+        sb = tiny_binary()
+
+        def workload(rt):
+            parse_binary(sb.binary, rt, ParseOptions())
+
+        rep = run_race_sweep(workload, n_workers=4, schedules=3,
+                             workload_name="tiny")
+        assert rep["findings"] == [], rep["findings"]
+        assert rep["events"] > 1000  # the sweep actually observed work
