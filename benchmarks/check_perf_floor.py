@@ -1,0 +1,78 @@
+"""Perf-floor gate over the ``procs_parallelism.json`` sidecar.
+
+CI's procs-smoke job guards the *ceiling* (procs at most N x slower
+than serial, re-measured on violation); this script guards the
+*floor* from the recorded trajectory instead of a live run: every row
+of the sidecar must reach ``--floor`` speedup (serial_wall_s /
+procs_wall_s).  Speedup is hardware-dependent — one-core CI runners
+cannot show real scaling — so the CI wiring runs this **warn-only**:
+violations surface as GitHub warning annotations without failing the
+build, keeping the trajectory honest while the hard correctness gates
+(differential battery, fault matrix) stay red/green.
+
+Schema problems are always fatal, even under ``--warn-only``: the
+sidecar format (``repro.bench-procs/*``, validated by
+``repro.runtime.tracefmt.validate_bench_procs``) is a deterministic
+contract, not a timing.
+
+Usage::
+
+    python benchmarks/check_perf_floor.py benchmarks/out/procs_parallelism.json \
+        --floor 0.4 --warn-only
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.runtime.tracefmt import validate_bench_procs
+
+
+def main(argv: list[str] | None = None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("sidecar", type=Path,
+                    help="path to procs_parallelism.json")
+    ap.add_argument("--floor", type=float, default=0.4,
+                    help="minimum acceptable speedup per row "
+                         "(serial_wall_s / procs_wall_s; default 0.4)")
+    ap.add_argument("--warn-only", action="store_true",
+                    help="report floor violations as warnings, exit 0")
+    args = ap.parse_args(argv)
+
+    sidecar = json.loads(args.sidecar.read_text())
+    problems = validate_bench_procs(sidecar)
+    if problems:
+        for p in problems:
+            print(f"ERROR: invalid sidecar: {p}", file=sys.stderr)
+        return 2
+
+    violations = []
+    for row in sidecar["rows"]:
+        speedup = row["serial_wall_s"] / row["procs_wall_s"]
+        if speedup < args.floor:
+            violations.append(
+                f"{row['binary']} @ {row['workers']} workers: speedup "
+                f"{speedup:.2f} below floor {args.floor:.2f} "
+                f"(serial {row['serial_wall_s']:.4f}s, procs "
+                f"{row['procs_wall_s']:.4f}s)")
+
+    n = len(sidecar["rows"])
+    if not violations:
+        print(f"perf floor ok: {n} rows at or above "
+              f"speedup {args.floor:.2f} ({sidecar['schema']})")
+        return 0
+    for v in violations:
+        # ``::warning::`` renders as an annotation on GitHub runners and
+        # is harmless plain text everywhere else.
+        prefix = "::warning::" if args.warn_only else "ERROR: "
+        print(f"{prefix}perf floor: {v}")
+    print(f"perf floor: {len(violations)}/{n} rows below "
+          f"{args.floor:.2f}" + (" (warn-only)" if args.warn_only else ""))
+    return 0 if args.warn_only else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

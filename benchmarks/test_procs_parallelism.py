@@ -3,20 +3,21 @@
 The virtual-time sweeps (figure2/table2) report *simulated* cycles; the
 paper's actual claim is wall-clock speedup on real hardware.  The procs
 backend is the one substrate in this reproduction with true hardware
-parallelism (no GIL), so this benchmark adds the wall-clock column:
-serial parse time vs sharded fragment-merge parse time over the Table 1
-binaries, plus the fan-out/merge split the backend reports and the
-cross-shard redundancy (``procs.duplicate_insns``).
+parallelism (no GIL), so this benchmark adds the wall-clock column: one
+serial parse per Table 1 binary against a sweep of procs worker counts
+(default 2/4/8, ``REPRO_PROCS_SWEEP``), plus the fan-out/merge split the
+backend reports, the shared-memory transport volume, the merge/fan-out
+overlap and the cross-shard redundancy (``procs.duplicate_insns``).
 
 Speedup is hardware-dependent (CI containers may expose one core, where
 the shard fan-out can only add overhead), so the asserted property is
 the paper's correctness claim — the procs CFG is byte-identical to the
-serial fixed point — while the timings are recorded honestly as the
-tracked trajectory in the ``procs_parallelism.json`` sidecar
-(``repro.bench-procs/2``, validated in-run).  Setting
-``REPRO_PROCS_SMOKE_FACTOR=N`` additionally turns the run into a loose
-smoke guard: fail if ``procs_wall_s > N × serial_wall_s`` on any row
-(the CI procs-smoke job uses N=2).
+serial fixed point at every worker count — while the timings are
+recorded honestly as the tracked trajectory in the
+``procs_parallelism.json`` sidecar (``repro.bench-procs/3``, validated
+in-run).  Setting ``REPRO_PROCS_SMOKE_FACTOR=N`` additionally turns the
+run into a loose smoke guard: fail if ``procs_wall_s > N ×
+serial_wall_s`` on any row (the CI procs-smoke job uses N=2).
 """
 
 import os
@@ -28,10 +29,25 @@ from repro.runtime.tracefmt import BENCH_PROCS_SCHEMA, validate_bench_procs
 
 from conftest import HPC_SCALE, run_once, write_table
 
-PROCS_WORKERS = int(os.environ.get("REPRO_PROCS_WORKERS", "4"))
+PROCS_WORKERS = os.environ.get("REPRO_PROCS_WORKERS")
+#: Worker counts swept per binary.  ``REPRO_PROCS_SWEEP`` (comma list)
+#: wins; else a single ``REPRO_PROCS_WORKERS`` count (the CI smoke job
+#: pins 2); else the default 2/4/8 scaling curve.
+if os.environ.get("REPRO_PROCS_SWEEP"):
+    SWEEP = sorted({int(w) for w in
+                    os.environ["REPRO_PROCS_SWEEP"].split(",")})
+elif PROCS_WORKERS:
+    SWEEP = [int(PROCS_WORKERS)]
+else:
+    SWEEP = [2, 4, 8]
 #: Optional loose wall-clock guard (CI smoke): procs may be at most this
 #: many times slower than serial.  Unset = record-only, never fail.
 SMOKE_FACTOR = os.environ.get("REPRO_PROCS_SMOKE_FACTOR")
+
+
+def _hist_s(rt, name):
+    h = rt.metrics.histogram(name)
+    return round((h.total if h else 0) / 1e9, 4)
 
 
 def test_procs_wall_clock_column(benchmark, hpc_binaries):
@@ -39,7 +55,7 @@ def test_procs_wall_clock_column(benchmark, hpc_binaries):
     # persistent process-wide resource) so every recorded row measures
     # steady-state dispatch rather than charging one-time pool creation
     # to whichever binary happens to run first.
-    parse_binary(hpc_binaries[0].binary, ProcsRuntime(PROCS_WORKERS))
+    parse_binary(hpc_binaries[0].binary, ProcsRuntime(max(SWEEP)))
 
     rows = []
     for sb in hpc_binaries:
@@ -47,71 +63,82 @@ def test_procs_wall_clock_column(benchmark, hpc_binaries):
         want = parse_binary(sb.binary, SerialRuntime()).signature()
         serial_wall = time.perf_counter() - t0
 
-        rt = ProcsRuntime(PROCS_WORKERS)
-        got = parse_binary(sb.binary, rt).signature()
-        assert got == want, sb.name  # the Section 8.1 equality claim
+        for workers in SWEEP:
+            rt = ProcsRuntime(workers)
+            got = parse_binary(sb.binary, rt).signature()
+            assert got == want, (sb.name, workers)  # Section 8.1 equality
 
-        fanout = rt.metrics.histogram("procs.fanout_wall_ns")
-        procs_wall = rt.makespan
-        rows.append({
-            "binary": sb.name,
-            "workers": PROCS_WORKERS,
-            "serial_wall_s": round(serial_wall, 4),
-            "procs_wall_s": round(procs_wall, 4),
-            "speedup": round(serial_wall / procs_wall, 4),
-            "fanout_wall_s": round((fanout.total if fanout else 0) / 1e9, 4),
-            "shards": rt.metrics.counter("procs.shards"),
-            "pool_fallback": rt.metrics.counter("procs.pool_fallback"),
-            "merged_cache_insns":
-                rt.metrics.counter("procs.merged_cache_insns"),
-            "duplicate_insns":
-                rt.metrics.counter("procs.duplicate_insns"),
-            "frontier_records":
-                rt.metrics.counter("procs.frontier.records"),
-        })
+            procs_wall = rt.makespan
+            rows.append({
+                "binary": sb.name,
+                "workers": workers,
+                "serial_wall_s": round(serial_wall, 4),
+                "procs_wall_s": round(procs_wall, 4),
+                "speedup": round(serial_wall / procs_wall, 4),
+                "fanout_wall_s": _hist_s(rt, "procs.fanout_wall_ns"),
+                "shards": rt.metrics.counter("procs.shards"),
+                "pool_fallback": rt.metrics.counter("procs.pool_fallback"),
+                "merged_cache_insns":
+                    rt.metrics.counter("procs.merged_cache_insns"),
+                "duplicate_insns":
+                    rt.metrics.counter("procs.duplicate_insns"),
+                "frontier_records":
+                    rt.metrics.counter("procs.frontier.records"),
+                "shm_bytes": rt.metrics.counter("procs.shm.bytes"),
+                "shm_fallback": rt.metrics.counter("procs.shm.fallback"),
+                "overlap_fragments":
+                    rt.metrics.counter("procs.overlap.fragments"),
+                "overlap_install_wall_s":
+                    _hist_s(rt, "procs.overlap.install_wall_ns"),
+            })
 
     # The timed unit: one representative procs parse.
     rep = hpc_binaries[0]
-    run_once(benchmark, parse_binary, rep.binary,
-             ProcsRuntime(PROCS_WORKERS))
+    run_once(benchmark, parse_binary, rep.binary, ProcsRuntime(max(SWEEP)))
 
     lines = [f"Real-parallelism column: serial vs procs wall seconds "
-             f"(scale={HPC_SCALE}, workers={PROCS_WORKERS}, "
-             f"pool pre-warmed)",
-             f"{'Binary':<18} {'serial s':>10} {'procs s':>10} "
-             f"{'speedup':>8} {'fanout s':>10} {'shards':>7} "
-             f"{'dup insn':>9} {'fallback':>9}"]
+             f"(scale={HPC_SCALE}, sweep={SWEEP}, pool pre-warmed)",
+             f"{'Binary':<18} {'wrk':>4} {'serial s':>10} {'procs s':>10} "
+             f"{'speedup':>8} {'fanout s':>10} {'overlap':>8} "
+             f"{'shm KiB':>8} {'dup insn':>9} {'fallback':>9}"]
     for r in rows:
-        lines.append(f"{r['binary']:<18} {r['serial_wall_s']:>10.4f} "
-                     f"{r['procs_wall_s']:>10.4f} {r['speedup']:>8.2f} "
-                     f"{r['fanout_wall_s']:>10.4f} {r['shards']:>7} "
-                     f"{r['duplicate_insns']:>9} {r['pool_fallback']:>9}")
+        lines.append(
+            f"{r['binary']:<18} {r['workers']:>4} "
+            f"{r['serial_wall_s']:>10.4f} {r['procs_wall_s']:>10.4f} "
+            f"{r['speedup']:>8.2f} {r['fanout_wall_s']:>10.4f} "
+            f"{r['overlap_fragments']:>8} {r['shm_bytes'] // 1024:>8} "
+            f"{r['duplicate_insns']:>9} {r['pool_fallback']:>9}")
     sidecar = {"schema": BENCH_PROCS_SCHEMA, "scale": HPC_SCALE,
-               "workers": PROCS_WORKERS, "rows": rows}
+               "workers": max(SWEEP), "rows": rows}
     problems = validate_bench_procs(sidecar)
     assert not problems, problems
     write_table("procs_parallelism.txt", "\n".join(lines), data=sidecar)
 
-    for r, sb in zip(rows, hpc_binaries):
-        assert r["shards"] >= 1
-        assert r["procs_wall_s"] > 0
-        if SMOKE_FACTOR is None:
-            continue
-        # Flake-resistant tripwire: the recorded row keeps its honest
-        # first measurement, but a guard violation is re-measured before
-        # failing so a noisy-neighbor blip can't redden CI.  A real
-        # regression fails every attempt.
-        factor = float(SMOKE_FACTOR)
-        serial_wall, procs_wall = r["serial_wall_s"], r["procs_wall_s"]
-        for _ in range(2):
-            if procs_wall <= factor * serial_wall:
-                break
-            t0 = time.perf_counter()
-            parse_binary(sb.binary, SerialRuntime())
-            serial_wall = time.perf_counter() - t0
-            retry = ProcsRuntime(PROCS_WORKERS)
-            parse_binary(sb.binary, retry)
-            procs_wall = retry.makespan
-        assert procs_wall <= factor * serial_wall, (
-            f"{r['binary']}: procs {procs_wall:.4f}s exceeds "
-            f"{SMOKE_FACTOR}x serial {serial_wall:.4f}s")
+    by_row = {(r["binary"], r["workers"]): r for r in rows}
+    for sb in hpc_binaries:
+        for workers in SWEEP:
+            r = by_row[(sb.name, workers)]
+            assert r["shards"] >= 1
+            assert r["procs_wall_s"] > 0
+            if SMOKE_FACTOR is None:
+                continue
+            # Flake-resistant tripwire: the recorded row keeps its honest
+            # first measurement, but a guard violation is re-measured
+            # before failing so a noisy-neighbor blip can't redden CI.  A
+            # real regression fails every attempt.
+            factor = float(SMOKE_FACTOR)
+            serial_wall, procs_wall = (r["serial_wall_s"],
+                                       r["procs_wall_s"])
+            for _ in range(2):
+                if procs_wall <= factor * serial_wall:
+                    break
+                t0 = time.perf_counter()
+                parse_binary(sb.binary, SerialRuntime())
+                serial_wall = time.perf_counter() - t0
+                retry = ProcsRuntime(workers)
+                parse_binary(sb.binary, retry)
+                procs_wall = retry.makespan
+            assert procs_wall <= factor * serial_wall, (
+                f"{r['binary']} @ {workers} workers: procs "
+                f"{procs_wall:.4f}s exceeds {SMOKE_FACTOR}x serial "
+                f"{serial_wall:.4f}s")

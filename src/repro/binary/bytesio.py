@@ -50,15 +50,22 @@ class ByteWriter:
 
 
 class ByteReader:
-    """Sequential little-endian binary reader with bounds checking."""
+    """Sequential little-endian binary reader with bounds checking.
+
+    Accepts any bytes-like buffer.  Handed a :class:`memoryview`, every
+    ``_take`` (and therefore every ``blob``) is a zero-copy *slice* of
+    the underlying buffer — the procs backend reads whole binary images
+    out of shared memory this way, so section payloads alias the
+    segment instead of being copied per worker.
+    """
 
     __slots__ = ("_buf", "_pos")
 
-    def __init__(self, buf: bytes) -> None:
+    def __init__(self, buf: bytes | bytearray | memoryview) -> None:
         self._buf = buf
         self._pos = 0
 
-    def _take(self, n: int) -> bytes:
+    def _take(self, n: int) -> bytes | memoryview:
         if self._pos + n > len(self._buf):
             raise ImageFormatError(
                 f"truncated stream: need {n} bytes at offset {self._pos}, "
@@ -82,9 +89,11 @@ class ByteReader:
 
     def string(self) -> str:
         n = self.u32()
-        return self._take(n).decode("utf-8")
+        # memoryview has no .decode(); the bytes() wrap copies only the
+        # (short) string payload, never a section-sized blob.
+        return bytes(self._take(n)).decode("utf-8")
 
-    def blob(self) -> bytes:
+    def blob(self) -> bytes | memoryview:
         n = self.u64()
         return self._take(n)
 

@@ -38,11 +38,17 @@ class SectionFlags(enum.IntFlag):
 
 @dataclass
 class Section:
-    """One named contiguous region of the binary."""
+    """One named contiguous region of the binary.
+
+    ``data`` is any bytes-like buffer.  Images deserialized from a
+    :class:`memoryview` (the procs backend's shared-memory transport)
+    carry sections that *alias* the source buffer — the buffer's owner
+    must outlive the section.
+    """
 
     name: str
     addr: int
-    data: bytes
+    data: bytes | memoryview
     flags: SectionFlags = SectionFlags.NONE
 
     @property
@@ -167,8 +173,15 @@ class BinaryImage:
         return w.getvalue()
 
     @classmethod
-    def from_bytes(cls, raw: bytes) -> "BinaryImage":
-        if raw[:4] != _MAGIC:
+    def from_bytes(cls, raw: bytes | bytearray | memoryview
+                   ) -> "BinaryImage":
+        """Deserialize an image from any bytes-like buffer.
+
+        Handed a :class:`memoryview`, section payloads are zero-copy
+        slices of ``raw`` (see :class:`Section`); handed ``bytes``,
+        slicing copies as usual.
+        """
+        if bytes(raw[:4]) != _MAGIC:
             raise ImageFormatError("bad magic: not an SBIN image")
         r = ByteReader(raw[4:])
         version = r.u16()

@@ -88,18 +88,22 @@ def encode_eh_frame(starts: list[int]) -> bytes:
     return w.getvalue()
 
 
-def load_image(source: str | bytes | BinaryImage) -> LoadedBinary:
-    """Load a binary from a path, raw bytes, or an in-memory image.
+def load_image(source: str | bytes | bytearray | memoryview | BinaryImage
+               ) -> LoadedBinary:
+    """Load a binary from a path, a bytes-like buffer, or an image.
 
     Malformed images — truncated section payloads, trailing garbage,
     zero-length or overlapping loadable sections — raise
     :class:`~repro.errors.ImageFormatError` here rather than misparsing
-    later (the procs workers rebuild binaries from shipped bytes, so
-    corruption must surface at the load boundary).
+    later (the procs workers rebuild binaries from shipped buffers, so
+    corruption must surface at the load boundary).  A
+    :class:`memoryview` source — the shared-memory transport's attach
+    path — deserializes zero-copy: sections alias the buffer, which
+    must stay mapped for the binary's lifetime.
     """
     if isinstance(source, BinaryImage):
         image = source
-    elif isinstance(source, bytes):
+    elif isinstance(source, (bytes, bytearray, memoryview)):
         image = BinaryImage.from_bytes(source)
     else:
         image = BinaryImage.load(source)

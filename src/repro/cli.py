@@ -166,6 +166,11 @@ def cmd_parse(args) -> int:
             "retries": (rt.metrics.counter("procs.retry.dispatch")
                         + rt.metrics.counter("procs.retry.inline")),
             "pool_respawns": rt.metrics.counter("procs.pool_respawn"),
+            "shm_segments": rt.metrics.counter("procs.shm.segments"),
+            "shm_bytes": rt.metrics.counter("procs.shm.bytes"),
+            "shm_fallback": rt.metrics.counter("procs.shm.fallback"),
+            "overlap_fragments":
+                rt.metrics.counter("procs.overlap.fragments"),
             "degraded_to": rt.degradation["level"],
             "fault_events": len(rt.fault_events),
         }

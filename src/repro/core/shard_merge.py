@@ -18,12 +18,21 @@ executing it.  This module is the coordinator side:
    imported end is re-registered through the parser's real invariant-4
    split cascade (``_split_collision``), which reconciles the fragments
    to the serial block set.
-3. **Replay** the frontier records in deterministic (shard, discovery)
-   order through the real parser machinery — tail-call classification,
-   function creation, noreturn deferral and jump-table analysis all run
-   exactly as in a serial parse, just starting from the merged state.
+3. **Replay** the frontier records through the real parser machinery —
+   tail-call classification, function creation, noreturn deferral and
+   jump-table analysis all run exactly as in a serial parse, just
+   starting from the merged state.  Within a shard, records replay in
+   discovery order; across shards they replay in parallel
+   (``rt.parallel_for``), which is safe because ownership claims make
+   the record sets disjoint and all shared state goes through the
+   accessor-based invariant machinery.
 4. Run the ordinary wave fixed point (including the cycle rule the
    fragments had to skip) and the ordinary ``finalize`` correction phase.
+
+Steps 1–2 run *incrementally*: :class:`StreamingMerge` installs each
+fragment the moment its delta lands, overlapping merge work with the
+still-running fan-out; :func:`merge_fragments` is the batch wrapper the
+inline/degraded paths use.
 
 Correctness rests on the battery-proven schedule independence of the
 invariant machinery: a fragment is a prefix of a valid global schedule
@@ -135,20 +144,180 @@ def export_fragment(parser: ParallelParser, shard_id: int,
     return frag
 
 
+class StreamingMerge:
+    """Incremental coordinator: fold fragments in as they arrive.
+
+    The batch merge waits for every shard before touching the graph; a
+    streaming coordinator starts step 2 (rebuild + install) the moment
+    the first :class:`ShardDelta` lands, overlapping merge work with
+    the still-running fan-out.  The procs backend feeds
+    :meth:`accept` from its dispatch loop; :meth:`finish` runs the
+    parts that genuinely need *all* fragments — the frontier replay
+    (a record can target any foreign shard's blocks), the wave fixed
+    point and finalization.
+
+    Per-fragment installation is order-independent: ownership claims
+    make block starts, functions, jump tables and noreturn records
+    shard-disjoint; map installs are insert-only; and cross-shard end
+    collisions go through the invariant-4 cascade, whose outcome is
+    schedule-independent (battery-proven).  So installing fragments in
+    arrival order equals installing them in shard order.
+
+    Must be used inside ``rt.run`` on the coordinator runtime.  One
+    fragment per shard: a duplicate (the retry ladder's straggler case)
+    is skipped — callers that can see both attempts dedup first, as
+    :func:`merge_fragments` does.
+    """
+
+    def __init__(self, binary: LoadedBinary, rt: Runtime,
+                 options: ParseOptions | None = None):
+        self.binary = binary
+        self.rt = rt
+        self.opts = replace(options or ParseOptions(),
+                            thread_local_cache=True)
+        #: merged decode cache; grows as deltas arrive.  The parser
+        #: holds this same dict, so later updates are visible to it.
+        self.warm: dict[int, Instruction] = {}
+        #: every installed block by start (cross-fragment ownership guard)
+        self.blocks: dict[int, Block] = {}
+        self._parser: ParallelParser | None = None
+        self._installed: dict[int, int] = {}  # shard_id -> attempt
+        self._frags: list[CFGFragment] = []
+
+    @property
+    def parser(self) -> ParallelParser:
+        """The merged-state parser (created on first use).
+
+        Lazy because the parser treats an empty warm cache as "no warm
+        cache" — constructing it after the first delta's instructions
+        land keeps the shared ``warm`` dict wired in.
+        """
+        if self._parser is None:
+            self._parser = ParallelParser(self.binary, self.rt, self.opts,
+                                          warm_cache=self.warm)
+        return self._parser
+
+    def accept(self, fragment: CFGFragment,
+               insns: dict[int, Instruction] | None = None,
+               streamed: bool = False) -> bool:
+        """Install one shard's fragment into the merged graph.
+
+        ``insns`` is the shard's decode cache (merged into the warm
+        cache before the rebuild resolves instructions from it);
+        ``streamed`` marks an install that overlapped the fan-out, for
+        the ``procs.overlap.*`` metrics.  Returns False (and installs
+        nothing) for a shard that already has a fragment installed.
+        """
+        if fragment.shard_id in self._installed:
+            return False
+        if insns:
+            self.warm.update(insns)
+        rt = self.rt
+        m = rt.metrics
+        parser = self.parser
+        with rt.phase("cfg_merge"):
+            t0 = time.perf_counter_ns()  # sanity: allow(wall-clock) coordinator-side metric
+            n_edges = _rebuild_fragment_graph(fragment, self.warm,
+                                              self.blocks)
+            added = sorted((b[0], self.blocks[b[0]])
+                           for b in fragment.blocks)
+            parser.blocks_by_start.install_many(added)
+
+            funcs: dict[int, Function] = {}
+            for addr, name, entry_start, from_symtab, via, status \
+                    in fragment.functions:
+                func = Function(addr, name, self.blocks[entry_start],
+                                from_symtab=from_symtab,
+                                discovered_via=via)
+                func.status = ReturnStatus(status)
+                funcs[addr] = func
+            parser.functions.install_many(sorted(funcs.items()))
+
+            parser.jump_tables.install_many(sorted(
+                (info.block_start, info)
+                for info in fragment.jump_tables))
+
+            for addr, status, waiters, tails in fragment.noreturn:
+                sites = [DeferredCallSite(caller_addr=c,
+                                          block=self.blocks[bs],
+                                          fallthrough=ft, callee_addr=ce)
+                         for c, bs, ft, ce in waiters]
+                parser.noreturn.seed_state(addr, ReturnStatus(status),
+                                           sites, tails)
+
+            # Cross-shard block-end reconciliation: re-register every
+            # imported end through the real invariant-4 cascade.  Where
+            # shards disagree (one shard's linear overrun straddles
+            # another's blocks), the cascade splits exactly as
+            # concurrent registration would have.
+            splits_before = parser.stats.n_splits
+            for end_addr, bstart in fragment.ends:
+                _install_end(parser, self.blocks[bstart], end_addr)
+            end_splits = parser.stats.n_splits - splits_before
+            parser.stats.n_splits += fragment.n_splits
+            if m.enabled:
+                wall = time.perf_counter_ns() - t0  # sanity: allow(wall-clock) coordinator-side metric
+                m.inc("procs.merge.blocks", len(added))
+                m.inc("procs.merge.edges", n_edges)
+                m.inc("procs.merge.functions", len(funcs))
+                m.inc("procs.merge.end_splits", end_splits)
+                m.observe("procs.merge.wall_ns", wall)
+                if streamed:
+                    m.inc("procs.overlap.fragments")
+                    m.observe("procs.overlap.install_wall_ns", wall)
+                else:
+                    m.inc("procs.overlap.batch_fragments")
+        self._installed[fragment.shard_id] = fragment.attempt
+        self._frags.append(fragment)
+        return True
+
+    def finish(self) -> ParsedCFG:
+        """Complete the parse: frontier replay, waves, finalization.
+
+        Only callable once every shard's fragment has been accepted —
+        a frontier record may target any other shard's region, so the
+        replay needs the whole merged graph.
+        """
+        rt = self.rt
+        m = rt.metrics
+        parser = self.parser
+        frags = sorted(self._frags, key=lambda f: f.shard_id)
+
+        if getattr(parser, "op_trace", None) is not None:
+            # Debug hook: the merged-from-shards graph must satisfy the
+            # structural invariants before the frontier replay extends it.
+            from repro.sanity.cfgsan import run_cfgsan
+            run_cfgsan(parser, "shard-merge")
+
+        with rt.phase("cfg_frontier"):
+            t1 = time.perf_counter_ns()  # sanity: allow(wall-clock) coordinator-side metric
+            n_records = sum(len(f.frontier) for f in frags)
+            _replay_frontier(parser, frags, self.blocks, self.warm)
+            parser._noreturn_waves()
+            if m.enabled:
+                m.inc("procs.frontier.records", n_records)
+                m.observe("procs.frontier.replay_wall_ns",
+                          time.perf_counter_ns() - t1)  # sanity: allow(wall-clock) coordinator-side metric
+
+        with rt.phase("cfg_finalize"):
+            return finalize(parser)
+
+
 def merge_fragments(binary: LoadedBinary, rt: Runtime,
                     options: ParseOptions | None,
                     fragments: list[CFGFragment],
                     warm_cache: dict[int, Instruction]) -> ParsedCFG:
-    """Stitch shard fragments into the serial fixed point.
+    """Stitch shard fragments into the serial fixed point (batch form).
 
-    Must be called inside ``rt.run`` on the coordinator runtime.
+    The thin non-streaming wrapper over :class:`StreamingMerge`: dedup
+    duplicate-attempt fragments from the retry ladder (highest attempt
+    wins — the one the coordinator actually validated last), install
+    them all, finish.  Must be called inside ``rt.run`` on the
+    coordinator runtime.
     """
-    opts = replace(options or ParseOptions(), thread_local_cache=True)
-    parser = ParallelParser(binary, rt, opts, warm_cache=warm_cache)
+    merge = StreamingMerge(binary, rt, options)
+    merge.warm.update(warm_cache)
     m = rt.metrics
-    # Tolerate duplicate-attempt fragments from the retry ladder: keep
-    # one fragment per shard, preferring the highest attempt (the one
-    # the coordinator actually validated last).
     by_shard: dict[int, CFGFragment] = {}
     for f in fragments:
         cur = by_shard.get(f.shard_id)
@@ -157,76 +326,9 @@ def merge_fragments(binary: LoadedBinary, rt: Runtime,
     if m.enabled and len(by_shard) != len(fragments):
         m.inc("procs.merge.duplicate_fragments",
               len(fragments) - len(by_shard))
-    frags = [by_shard[sid] for sid in sorted(by_shard)]
-
-    with rt.phase("cfg_merge"):
-        t0 = time.perf_counter_ns()  # sanity: allow(wall-clock) coordinator-side metric
-        blocks: dict[int, Block] = {}
-        n_edges = 0
-        for frag in frags:
-            n_edges += _rebuild_fragment_graph(frag, warm_cache, blocks)
-        parser.blocks_by_start.install_many(sorted(blocks.items()))
-
-        funcs: dict[int, Function] = {}
-        for frag in frags:
-            for addr, name, entry_start, from_symtab, via, status \
-                    in frag.functions:
-                func = Function(addr, name, blocks[entry_start],
-                                from_symtab=from_symtab,
-                                discovered_via=via)
-                func.status = ReturnStatus(status)
-                funcs[addr] = func
-        parser.functions.install_many(sorted(funcs.items()))
-
-        jts: dict[int, JumpTableInfo] = {}
-        for frag in frags:
-            for info in frag.jump_tables:
-                jts[info.block_start] = info
-        parser.jump_tables.install_many(sorted(jts.items()))
-
-        for frag in frags:
-            for addr, status, waiters, tails in frag.noreturn:
-                sites = [DeferredCallSite(caller_addr=c, block=blocks[bs],
-                                          fallthrough=ft, callee_addr=ce)
-                         for c, bs, ft, ce in waiters]
-                parser.noreturn.seed_state(addr, ReturnStatus(status),
-                                           sites, tails)
-
-        # Cross-shard block-end reconciliation: re-register every imported
-        # end through the real invariant-4 cascade.  Where shards disagree
-        # (one shard's linear overrun straddles another's blocks), the
-        # cascade splits exactly as concurrent registration would have.
-        splits_before = parser.stats.n_splits
-        for frag in frags:
-            for end_addr, bstart in frag.ends:
-                _install_end(parser, blocks[bstart], end_addr)
-        end_splits = parser.stats.n_splits - splits_before
-        parser.stats.n_splits += sum(f.n_splits for f in frags)
-        if m.enabled:
-            m.inc("procs.merge.blocks", len(blocks))
-            m.inc("procs.merge.edges", n_edges)
-            m.inc("procs.merge.functions", len(funcs))
-            m.inc("procs.merge.end_splits", end_splits)
-            m.observe("procs.merge.wall_ns", time.perf_counter_ns() - t0)  # sanity: allow(wall-clock) coordinator-side metric
-
-    if getattr(parser, "op_trace", None) is not None:
-        # Debug hook: the merged-from-shards graph must satisfy the
-        # structural invariants before the frontier replay extends it.
-        from repro.sanity.cfgsan import run_cfgsan
-        run_cfgsan(parser, "shard-merge")
-
-    with rt.phase("cfg_frontier"):
-        t1 = time.perf_counter_ns()  # sanity: allow(wall-clock) coordinator-side metric
-        n_records = sum(len(f.frontier) for f in frags)
-        _replay_frontier(parser, frags, blocks, warm_cache)
-        parser._noreturn_waves()
-        if m.enabled:
-            m.inc("procs.frontier.records", n_records)
-            m.observe("procs.frontier.replay_wall_ns",
-                      time.perf_counter_ns() - t1)  # sanity: allow(wall-clock) coordinator-side metric
-
-    with rt.phase("cfg_finalize"):
-        return finalize(parser)
+    for sid in sorted(by_shard):
+        merge.accept(by_shard[sid])
+    return merge.finish()
 
 
 def _rebuild_fragment_graph(frag: CFGFragment,
@@ -287,60 +389,85 @@ def _install_end(parser: ParallelParser, block: Block, end: int) -> None:
             pending = (nxt_blk, nxt_end)
 
 
-def _replay_frontier(parser: ParallelParser, frags: list[CFGFragment],
-                     blocks: dict[int, Block],
-                     warm: dict[int, Instruction]) -> None:
-    """Replay deferred cross-shard steps through the real machinery.
+def _replay_shard_frontier(parser: ParallelParser, frag: CFGFragment,
+                           blocks: dict[int, Block],
+                           warm: dict[int, Instruction]) -> None:
+    """Replay one shard's frontier records, in discovery order.
 
-    One coordinator task context per (shard, function): seeded with the
-    shard task's final reached set, so tail-call classification and
+    One coordinator task context per function: seeded with the shard
+    task's final reached set, so tail-call classification and
     shared-region scans observe at least what the shard task had.  The
     source block of each record is the *current* owner of the end address
     registered at record time — splits during the merge or earlier
     replays move edges to the owner, exactly as in a live parse.
     """
+    ctxs: dict[int, _TaskCtx] = {}
+    for rec in frag.frontier:
+        if rec.kind == "resume":
+            c, bs, ft, ce = rec.site
+            parser._resume_call_ft(DeferredCallSite(
+                caller_addr=c, block=blocks[bs],
+                fallthrough=ft, callee_addr=ce))
+            continue
+        ctx = ctxs.get(rec.func_addr)
+        if ctx is None:
+            func = parser.functions.get(rec.func_addr)
+            assert func is not None, (
+                f"frontier record for unknown function "
+                f"{rec.func_addr:#x}")
+            ctx = _TaskCtx(func=func)
+            ctx.reached.update(frag.reached.get(rec.func_addr, ()))
+            ctx.reached.add(rec.func_addr)
+            ctxs[rec.func_addr] = ctx
+        if rec.kind == "end":
+            parser._register_end(ctx, blocks[rec.block_start],
+                                 rec.end_addr,
+                                 warm[rec.last_addr])
+        else:
+            src = parser.block_ends.get(rec.end_addr)
+            if src is None:
+                src = blocks[rec.block_start]
+            if rec.kind == "direct":
+                parser._direct_branch(ctx, src, rec.target)
+            elif rec.kind == "cond":
+                parser._cond_branch(ctx, src, warm[rec.last_addr])
+            elif rec.kind == "call":
+                parser._call(ctx, src, warm[rec.last_addr])
+            else:  # intra
+                parser._add_intra_target(ctx, src, rec.target,
+                                         EdgeType(rec.etype))
+        parser._drain(ctx)
+
+
+def _replay_frontier(parser: ParallelParser, frags: list[CFGFragment],
+                     blocks: dict[int, Block],
+                     warm: dict[int, Instruction]) -> None:
+    """Replay deferred cross-shard steps through the real machinery.
+
+    Replay order within a shard is its discovery order (determinism of
+    the ladder's inline rung depends on it); *across* shards the records
+    are independent — each shard's records were produced inside its
+    ownership claim, the claims partition the address space, and every
+    shared structure the replay touches goes through the accessor-based
+    invariant machinery — so shards replay under ``rt.parallel_for``,
+    overlapping the cross-shard expansion work that used to run as one
+    sequential scan.  Tasks the replay discovers spawn into the shared
+    group (or round queue) exactly as in a live parse.
+    """
     rt = parser.rt
     group = rt.task_group() if parser.opts.task_parallel else None
     parser._group = group
-    ctxs: dict[tuple[int, int], _TaskCtx] = {}
+    live = [f for f in frags if f.frontier]
     try:
-        for frag in frags:
-            for rec in frag.frontier:
-                if rec.kind == "resume":
-                    c, bs, ft, ce = rec.site
-                    parser._resume_call_ft(DeferredCallSite(
-                        caller_addr=c, block=blocks[bs],
-                        fallthrough=ft, callee_addr=ce))
-                    continue
-                key = (frag.shard_id, rec.func_addr)
-                ctx = ctxs.get(key)
-                if ctx is None:
-                    func = parser.functions.get(rec.func_addr)
-                    assert func is not None, (
-                        f"frontier record for unknown function "
-                        f"{rec.func_addr:#x}")
-                    ctx = _TaskCtx(func=func)
-                    ctx.reached.update(frag.reached.get(rec.func_addr, ()))
-                    ctx.reached.add(rec.func_addr)
-                    ctxs[key] = ctx
-                if rec.kind == "end":
-                    parser._register_end(ctx, blocks[rec.block_start],
-                                         rec.end_addr,
-                                         warm[rec.last_addr])
-                else:
-                    src = parser.block_ends.get(rec.end_addr)
-                    if src is None:
-                        src = blocks[rec.block_start]
-                    if rec.kind == "direct":
-                        parser._direct_branch(ctx, src, rec.target)
-                    elif rec.kind == "cond":
-                        parser._cond_branch(ctx, src, warm[rec.last_addr])
-                    elif rec.kind == "call":
-                        parser._call(ctx, src, warm[rec.last_addr])
-                    else:  # intra
-                        parser._add_intra_target(ctx, src, rec.target,
-                                                 EdgeType(rec.etype))
-                parser._drain(ctx)
+        if group is not None and len(live) > 1:
+            rt.parallel_for(
+                live,
+                lambda frag: _replay_shard_frontier(parser, frag, blocks,
+                                                    warm),
+                sort_key=lambda f: f.shard_id)
+        else:
+            for frag in live:
+                _replay_shard_frontier(parser, frag, blocks, warm)
         if group is not None:
             group.wait()
         else:

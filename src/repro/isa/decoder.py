@@ -30,8 +30,12 @@ class Decoder:
 
     __slots__ = ("_code", "_base", "_limit")
 
-    def __init__(self, code: bytes, base: int):
-        self._code = memoryview(bytes(code))
+    def __init__(self, code: bytes | memoryview, base: int):
+        # A memoryview stays zero-copy (the shared-memory transport maps
+        # .text straight out of the segment); anything else is frozen
+        # into an immutable private copy.
+        self._code = (code if isinstance(code, memoryview)
+                      else memoryview(bytes(code)))
         self._base = base
         self._limit = base + len(code)
 

@@ -29,6 +29,10 @@ joined by commas; full format in ``docs/ROBUSTNESS.md``):
            initial pool, each respawn increments)
 ``health`` the coordinator's pool health-check reports the pool dead
            (drives the respawn path without real worker carnage)
+``shm``    publishing the image to shared memory fails on the
+           coordinator, forcing the legacy pickled-bytes transport
+           (a transport downgrade, not a degradation-ladder rung:
+           the parse stays fully sharded)
 ========== ============================================================
 
 A spec fires while ``attempt <= attempts`` (default 1), so a fault that
@@ -54,7 +58,7 @@ from repro.errors import InjectedFaultError, RuntimeConfigError
 
 #: Every legal injection site, in ladder order.
 SITES = ("exc", "frag", "delay", "kill", "corrupt", "truncate",
-         "pool", "health")
+         "pool", "health", "shm")
 
 #: Environment variable consulted by :meth:`FaultPlan.from_env`.
 ENV_VAR = "REPRO_FAULT_PLAN"

@@ -18,14 +18,27 @@ Execution model
    down to 0, the last up to the address ceiling).  Contiguity keeps
    each worker's decode working set local, mirroring the paper's
    Section 6.4 cache story.
-2. **Fragment parse (parallel)** — shard tasks are dispatched to a
+2. **Publish the image once** — the coordinator serializes the binary
+   image into a POSIX shared-memory segment
+   (:mod:`repro.runtime.shm`); task payloads carry only the segment's
+   name and payload length, and workers deserialize the binary over a
+   read-only memoryview of the mapping, so section payloads and the
+   decoder's code buffer alias the segment — the image crosses the
+   process boundary zero times per task instead of once per task.  The
+   segment is unlinked in a ``finally`` around the dispatch loop
+   (success, every fault rung, degradation, serial fallback).  If
+   shared memory is unavailable — or the deterministic ``shm`` fault
+   site fires — the parse downgrades to the legacy pickled-bytes
+   transport (recorded as a fault event; the parse stays fully
+   sharded).
+3. **Fragment parse (parallel)** — shard tasks are dispatched to a
    long-lived worker pool shared by every :class:`ProcsRuntime` in the
    process (pool creation dwarfs a dispatch round, so the pool is only
    rebuilt when its start method or size changes, and is sized to the
-   cores actually available).  Each worker rebuilds the binary from the
-   pickled image bytes shipped with the task — cached per parse token,
-   so only the first task to reach a worker pays the rebuild — then
-   runs the ordinary parallel parser in
+   cores actually available).  Each worker rebuilds the binary from
+   the shipped transport — cached per parse token, so only the first
+   task to reach a worker pays the rebuild — then runs the ordinary
+   parallel parser in
    *fragment mode*: expansion proceeds normally inside the shard's
    claim, while every step that would touch a foreign address — direct
    or conditional branches out of the region, calls to foreign callees,
@@ -34,20 +47,23 @@ Execution model
    :class:`~repro.core.parallel_parser.FrontierRecord` instead of
    executed.  The claim protocol is what makes fan-out cheap: a shard
    never re-parses another shard's call closure.
-3. **Structural merge (coordinator)** — each worker returns a
-   pickle-friendly :class:`ShardDelta` carrying its
+4. **Streaming structural merge (coordinator)** — each worker returns
+   a pickle-friendly :class:`ShardDelta` carrying its
    :class:`~repro.core.shard_merge.CFGFragment` (flat block, edge,
    function, jump-table and noreturn records) plus its decode cache.
-   The coordinator (:func:`repro.core.shard_merge.merge_fragments`)
-   rebuilds and installs the union of the fragments — block starts,
+   The coordinator folds each fragment into a
+   :class:`~repro.core.shard_merge.StreamingMerge` the moment its
+   delta lands — rebuild and install overlap the still-running
+   fan-out instead of waiting for the slowest shard.  Block starts,
    functions and noreturn records are disjoint by ownership; block
    *ends* are reconciled through the real invariant-4 split cascade
-   where shards disagree — then replays only the frontier records
-   through the ordinary parser machinery, runs the wave fixed point
-   (including the cycle rule fragments must skip) and the ordinary
-   ``finalize`` correction phase.  Schedule independence of the
-   invariant machinery (battery-proven) makes the result equal the
-   serial fixed point byte-for-byte.
+   where shards disagree.  Once every shard is in, the frontier
+   records replay through the ordinary parser machinery (in parallel
+   across shards — ownership makes the record sets disjoint), the
+   wave fixed point runs (including the cycle rule fragments must
+   skip), and the ordinary ``finalize`` correction phase completes.
+   Schedule independence of the invariant machinery (battery-proven)
+   makes the result equal the serial fixed point byte-for-byte.
 
 Fault tolerance
 ---------------
@@ -118,13 +134,16 @@ from repro.runtime.faults import (
 )
 from repro.runtime.serial import SerialRuntime
 
-#: Worker-side cache of binaries rebuilt from payload image bytes,
-#: keyed by the coordinator's payload token (one token per parse).
+#: Worker-side cache of binaries rebuilt from task transports, keyed by
+#: the coordinator's payload token (one token per parse).  Values are
+#: ``(binary, shm_handle_or_None)`` — a binary built over a
+#: shared-memory view must keep its mapping handle alive, and eviction
+#: releases the handle via :func:`repro.runtime.shm.release_view`.
 #: LRU-ordered: a hit moves the token to the back, and when the cache
 #: is full only the *least recently used* entry is evicted — never the
 #: whole cache, which would drop the binary currently being parsed
 #: mid-run and force every later task of the parse to rebuild it.
-_WORKER_BINARIES: "OrderedDict[int, Any]" = OrderedDict()
+_WORKER_BINARIES: "OrderedDict[int, tuple]" = OrderedDict()
 
 #: Maximum binaries kept alive per worker process.
 _WORKER_BINARY_CAP = 8
@@ -166,8 +185,9 @@ class ShardTask:
     plus the shard's ownership claim ``[owned_lo, owned_hi)``.
 
     Deliberately plain data (ints only) so payloads pickle cheaply; the
-    binary travels alongside as image bytes and is rebuilt at most once
-    per worker per parse (cached by payload token).
+    binary travels alongside as a transport descriptor (a shared-memory
+    segment name, or raw image bytes on the fallback path) and is
+    rebuilt at most once per worker per parse (cached by payload token).
     """
 
     shard_id: int
@@ -285,44 +305,59 @@ def _run_shard(binary, options, task: ShardTask, enable_metrics: bool,
     return delta
 
 
-def _worker_binary(token: int, image_bytes: bytes):
+def _worker_binary(token: int, transport: tuple):
     """The worker's cached binary for ``token``, rebuilding on a miss.
 
-    LRU discipline: a hit refreshes the token's recency; a miss evicts
-    only the least-recently-used entry once the cache is full, so the
-    binary of an in-flight parse is never dropped by a newer parse's
-    arrival.
+    ``transport`` is ``("shm", name, size)`` — attach the coordinator's
+    shared-memory segment and deserialize zero-copy over a read-only
+    view — or ``("bytes", image_bytes)``, the legacy pickled-payload
+    fallback.  LRU discipline: a hit refreshes the token's recency; a
+    miss evicts only the least-recently-used entry once the cache is
+    full, so the binary of an in-flight parse is never dropped by a
+    newer parse's arrival.  Evicting a shared-memory-backed binary
+    releases its mapping handle.
     """
-    binary = _WORKER_BINARIES.get(token)
-    if binary is not None:
+    entry = _WORKER_BINARIES.get(token)
+    if entry is not None:
         _WORKER_BINARIES.move_to_end(token)
-        return binary
+        return entry[0]
     from repro.binary.loader import load_image
+    from repro.runtime.shm import attach_view, release_view
 
     while len(_WORKER_BINARIES) >= _WORKER_BINARY_CAP:
-        _WORKER_BINARIES.popitem(last=False)
-    binary = _WORKER_BINARIES[token] = load_image(image_bytes)
+        _tok, (_binary, handle) = _WORKER_BINARIES.popitem(last=False)
+        if handle is not None:
+            release_view(handle)
+    if transport[0] == "shm":
+        view, handle = attach_view(transport[1], transport[2])
+        binary = load_image(view)
+    else:
+        binary = load_image(transport[1])
+        handle = None
+    _WORKER_BINARIES[token] = (binary, handle)
     return binary
 
 
 def _parse_shard(payload: tuple) -> ShardDelta:
     """Pool task: run one shard in this worker process.
 
-    The payload carries the pickled image bytes alongside the task so a
-    long-lived pool needs no per-binary initializer; the rebuilt binary
-    is cached per payload token, so only the first task of a parse to
-    reach each worker pays the rebuild.
+    The payload carries the image transport alongside the task — the
+    name of the published shared-memory segment, or the pickled image
+    bytes when shared memory was unavailable — so a long-lived pool
+    needs no per-binary initializer; the rebuilt binary is cached per
+    payload token, so only the first task of a parse to reach each
+    worker pays the rebuild.
 
     Failures are returned as data (not raised) so one bad shard cannot
     poison the pool; the coordinator feeds them to the retry ladder.
     The payload's fault plan drives the deterministic injection sites
     (entry faults before the parse, delta faults after the digest).
     """
-    token, image_bytes, options, enable_metrics, task, attempt, plan = \
+    token, transport, options, enable_metrics, task, attempt, plan = \
         payload
     try:
         inject_worker_entry(plan, task.shard_id, attempt)
-        binary = _worker_binary(token, image_bytes)
+        binary = _worker_binary(token, transport)
         delta = _run_shard(binary, options, task, enable_metrics,
                            attempt, plan)
         return corrupt_delta(plan, delta, task.shard_id, attempt)
@@ -424,6 +459,9 @@ class ProcsRuntime(SerialRuntime):
         self._budget_t0: float | None = None
         self._pool_creations = 0
         self._health_checks = 0
+        #: the live StreamingMerge while a fan-out is collecting, so the
+        #: dispatch loop can install fragments as deltas land.
+        self._merge: Any | None = None
         #: deltas of the last sharded parse (observability/tests).
         self.shard_deltas: list[ShardDelta] | None = None
         #: structured record of every fault observed by the last parse
@@ -510,9 +548,6 @@ class ProcsRuntime(SerialRuntime):
             return self._serial_fallback(binary, opts)
 
     def _sharded_parse_inner(self, binary, opts):
-        from repro.core.shard_merge import merge_fragments
-
-        m = self.metrics
         shards = shard_regions(binary.entry_addresses(), self.num_workers)
         tasks = []
         for i, seeds in enumerate(shards):
@@ -520,52 +555,67 @@ class ProcsRuntime(SerialRuntime):
             hi = (shards[i + 1][0] if i + 1 < len(shards)
                   else ADDRESS_CEILING)
             tasks.append(ShardTask(i, seeds, lo, hi))
+        # The whole pipeline — fan-out included — runs inside this
+        # runtime's single run() so the streaming merge can install
+        # fragments while the dispatch loop is still collecting.
+        return self.run(
+            lambda: self._fan_out_and_merge(binary, opts, tasks))
 
-        t_pool = time.perf_counter_ns()
-        deltas = self._map_shards(binary, opts, tasks)
-        if m.enabled:
-            m.observe("procs.fanout_wall_ns",
-                      time.perf_counter_ns() - t_pool)
-        self.shard_deltas = deltas
+    def _fan_out_and_merge(self, binary, opts, tasks: list[ShardTask]):
+        from repro.core.shard_merge import StreamingMerge
 
-        # Validate every delta and keep one per shard: a timed-out
-        # attempt whose result straggles in after its retry can hand
-        # the coordinator duplicate deltas — the highest attempt wins.
-        best: dict[int, ShardDelta] = {}
-        for d in deltas:
-            reason = delta_error(d)
-            if reason is not None:
-                raise ShardFailedError(
-                    d.shard_id if d is not None else -1,
-                    getattr(d, "attempt", 0) or 0, reason)
-            cur = best.get(d.shard_id)
-            if cur is None or d.attempt > cur.attempt:
-                best[d.shard_id] = d
-        if m.enabled and len(deltas) != len(best):
-            m.inc("procs.duplicate_deltas", len(deltas) - len(best))
-
-        warm: dict[int, Any] = {}
-        fragments = []
-        shard_insns_total = 0
-        for d in sorted(best.values(), key=lambda d: d.shard_id):
-            shard_insns_total += len(d.insns)
-            warm.update(d.insns)
-            fragments.append(d.fragment)
+        m = self.metrics
+        merge = StreamingMerge(binary, self, opts)
+        self._merge = merge
+        try:
+            t_pool = time.perf_counter_ns()
+            deltas = self._map_shards(binary, opts, tasks)
             if m.enabled:
-                m.inc("procs.shard_functions", d.counts[0])
-                m.inc("procs.shard_insns_decoded", len(d.insns))
-                if d.metrics is not None:
-                    m.merge_snapshot(d.metrics, prefix="workers.")
-        if m.enabled:
-            m.inc("procs.shards", len(tasks))
-            m.inc("procs.merged_cache_insns", len(warm))
-            # Cross-shard redundancy: instructions decoded by more than
-            # one worker (ownership keeps this low; it is not zero, since
-            # linear overrun and frontier-adjacent code decode twice).
-            m.inc("procs.duplicate_insns", shard_insns_total - len(warm))
+                m.observe("procs.fanout_wall_ns",
+                          time.perf_counter_ns() - t_pool)
+            self.shard_deltas = deltas
 
-        return self.run(lambda: merge_fragments(binary, self, opts,
-                                                fragments, warm))
+            # Validate every delta and keep one per shard: a timed-out
+            # attempt whose result straggles in after its retry can hand
+            # the coordinator duplicate deltas — the highest attempt wins.
+            best: dict[int, ShardDelta] = {}
+            for d in deltas:
+                reason = delta_error(d)
+                if reason is not None:
+                    raise ShardFailedError(
+                        d.shard_id if d is not None else -1,
+                        getattr(d, "attempt", 0) or 0, reason)
+                cur = best.get(d.shard_id)
+                if cur is None or d.attempt > cur.attempt:
+                    best[d.shard_id] = d
+            if m.enabled and len(deltas) != len(best):
+                m.inc("procs.duplicate_deltas", len(deltas) - len(best))
+
+            shard_insns_total = 0
+            for d in sorted(best.values(), key=lambda d: d.shard_id):
+                shard_insns_total += len(d.insns)
+                if m.enabled:
+                    m.inc("procs.shard_functions", d.counts[0])
+                    m.inc("procs.shard_insns_decoded", len(d.insns))
+                    if d.metrics is not None:
+                        m.merge_snapshot(d.metrics, prefix="workers.")
+                # Shards the dispatch loop already streamed in are
+                # skipped by accept(); inline-rung and in-process deltas
+                # install here, batch style.
+                merge.accept(d.fragment, d.insns)
+            if m.enabled:
+                m.inc("procs.shards", len(tasks))
+                m.inc("procs.merged_cache_insns", len(merge.warm))
+                # Cross-shard redundancy: instructions decoded by more
+                # than one worker (ownership keeps this low; it is not
+                # zero, since linear overrun and frontier-adjacent code
+                # decode twice).
+                m.inc("procs.duplicate_insns",
+                      shard_insns_total - len(merge.warm))
+
+            return merge.finish()
+        finally:
+            self._merge = None
 
     def _serial_fallback(self, binary, opts):
         """The ladder's last rung: a plain serial parse on this runtime."""
@@ -613,9 +663,49 @@ class ProcsRuntime(SerialRuntime):
                           f"no worker pool: {type(exc).__name__}: {exc}")
             return self._map_inline(binary, opts, tasks)
         token = next(_PAYLOAD_TOKENS)
-        image_bytes = binary.image.to_bytes()
-        return self._dispatch(ctx, procs, pool, token, image_bytes,
-                              opts, binary, tasks)
+        segment, transport = self._publish_image(binary)
+        try:
+            return self._dispatch(ctx, procs, pool, token, transport,
+                                  opts, binary, tasks)
+        finally:
+            # The one unlink point: runs on success, on every ladder
+            # rung and on the exception that triggers the serial
+            # fallback, so no parse outcome can leak the segment.
+            if segment is not None:
+                segment.unlink()
+
+    def _publish_image(self, binary):
+        """Publish the image for the fan-out: ``(segment, transport)``.
+
+        The happy path creates one shared-memory segment and returns a
+        ``("shm", name, size)`` transport; the caller owns the segment
+        and must unlink it when the fan-out is over.  When shared
+        memory is unavailable (or the ``shm`` fault site fires) the
+        transport downgrades to ``("bytes", image_bytes)`` — per-task
+        pickled payloads, sharded parse otherwise unchanged — and the
+        downgrade is recorded as a fault event.
+        """
+        from repro.runtime.shm import ImageSegment
+
+        m = self.metrics
+        payload = binary.image.to_bytes()
+        fallback: Exception | None = None
+        if self.fault_plan is not None and self.fault_plan.fires(
+                "shm", None, 1):
+            fallback = InjectedFaultError("shm", None, 1)
+        else:
+            try:
+                segment = ImageSegment.create(payload)
+            except Exception as exc:
+                fallback = exc
+        if fallback is not None:
+            m.inc("procs.shm.fallback")
+            self._record_fault("shm_unavailable", None, 1, "pickle")
+            return None, ("bytes", payload)
+        if m.enabled:
+            m.inc("procs.shm.segments")
+            m.inc("procs.shm.bytes", segment.size)
+        return segment, ("shm", segment.name, segment.size)
 
     def _create_pool(self, ctx, procs: int):
         """One pool creation attempt (initial or respawn), counted so
@@ -657,10 +747,17 @@ class ProcsRuntime(SerialRuntime):
         return min(self.shard_deadline, budget)
 
     def _dispatch(self, ctx, procs: int, pool, token: int,
-                  image_bytes: bytes, opts, binary,
+                  transport: tuple, opts, binary,
                   tasks: list[ShardTask]) -> list[ShardDelta]:
         """The fault-tolerant fan-out: per-task AsyncResults with
-        deadlines, bounded retries, pool self-healing, inline rung."""
+        deadlines, bounded retries, pool self-healing, inline rung.
+
+        Collection is *streaming*: each round prefers whichever shard
+        has already finished, and a valid delta is installed into the
+        live :class:`StreamingMerge` immediately, so rebuild/install
+        work overlaps the still-running stragglers instead of waiting
+        for the slowest shard.
+        """
         m = self.metrics
         plan = self.fault_plan
         deltas: dict[int, ShardDelta] = {}
@@ -674,7 +771,7 @@ class ProcsRuntime(SerialRuntime):
                 attempt[t.shard_id] += 1
                 if attempt[t.shard_id] > 1:
                     m.inc("procs.retry.dispatch")
-                payload = (token, image_bytes, opts, m.enabled, t,
+                payload = (token, transport, opts, m.enabled, t,
                            attempt[t.shard_id], plan)
                 inflight.append(
                     (t, pool.apply_async(_parse_shard, (payload,))))
@@ -682,11 +779,18 @@ class ProcsRuntime(SerialRuntime):
             retry: list[ShardTask] = []
             pool_broken = False
             budget_out = False
-            for t, ar in inflight:
-                a = attempt[t.shard_id]
+            waiting = list(inflight)
+            while waiting:
                 if pool_broken or budget_out:
-                    retry.append(t)
-                    continue
+                    retry.extend(t for t, _ar in waiting)
+                    break
+                # Prefer a result that is already in: its merge work
+                # runs while the stragglers keep parsing.  With none
+                # ready, block on the oldest dispatch.
+                i = next((i for i, (_t, ar) in enumerate(waiting)
+                          if ar.ready()), 0)
+                t, ar = waiting.pop(i)
+                a = attempt[t.shard_id]
                 try:
                     delta = ar.get(timeout=self._wait_timeout())
                 except multiprocessing.TimeoutError:
@@ -719,6 +823,9 @@ class ProcsRuntime(SerialRuntime):
                 reason = delta_error(delta)
                 if reason is None:
                     deltas[t.shard_id] = delta
+                    if self._merge is not None:
+                        self._merge.accept(delta.fragment, delta.insns,
+                                           streamed=bool(waiting))
                 else:
                     m.inc("procs.shard_failed")
                     self.shard_errors.append(

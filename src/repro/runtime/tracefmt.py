@@ -28,12 +28,15 @@ REPORT_SCHEMA = "repro.run-report/1"
 
 #: Version identifier of the procs-parallelism benchmark sidecar.  Rev 2
 #: added the per-row ``speedup`` column (``serial_wall_s /
-#: procs_wall_s``); rev 1 documents remain valid and are still accepted
-#: by :func:`validate_bench_procs`.
-BENCH_PROCS_SCHEMA = "repro.bench-procs/2"
+#: procs_wall_s``); rev 3 added the shared-memory-transport and
+#: merge-overlap columns (``shm_bytes``, ``shm_fallback``,
+#: ``overlap_fragments``, ``overlap_install_wall_s``).  Older documents
+#: remain valid and are still accepted by :func:`validate_bench_procs`.
+BENCH_PROCS_SCHEMA = "repro.bench-procs/3"
 
 #: Older sidecar revisions the validator still accepts.
-_BENCH_PROCS_ACCEPTED = ("repro.bench-procs/1", BENCH_PROCS_SCHEMA)
+_BENCH_PROCS_ACCEPTED = ("repro.bench-procs/1", "repro.bench-procs/2",
+                         BENCH_PROCS_SCHEMA)
 
 _GLYPHS = " .:-=+*#%@"
 
@@ -285,9 +288,10 @@ def validate_races(obj: Any) -> list[str]:
 def validate_bench_procs(obj: Any) -> list[str]:
     """Check a procs-parallelism benchmark sidecar against its schema.
 
-    Accepts both ``repro.bench-procs/1`` and ``repro.bench-procs/2``
-    documents; the per-row ``speedup`` column (serial wall seconds over
-    procs wall seconds) is required from rev 2 on.  Returns a list of
+    Accepts ``repro.bench-procs/1`` through ``/3`` documents; the
+    per-row ``speedup`` column (serial wall seconds over procs wall
+    seconds) is required from rev 2 on, the shared-memory-transport and
+    merge-overlap columns from rev 3 on.  Returns a list of
     human-readable problems; empty means valid.
     """
     errs: list[str] = []
@@ -304,7 +308,7 @@ def validate_bench_procs(obj: Any) -> list[str]:
                   f"schema is {schema!r}, want one of "
                   f"{_BENCH_PROCS_ACCEPTED!r}"):
         return errs
-    rev2 = schema == BENCH_PROCS_SCHEMA
+    rev = _BENCH_PROCS_ACCEPTED.index(schema) + 1
     expect(isinstance(obj.get("scale"), (int, float))
            and not isinstance(obj.get("scale"), bool)
            and obj.get("scale", 0) > 0, "scale must be a positive number")
@@ -316,9 +320,13 @@ def validate_bench_procs(obj: Any) -> list[str]:
         return errs
     numeric = ["serial_wall_s", "procs_wall_s", "fanout_wall_s"]
     counters = ["shards", "pool_fallback", "merged_cache_insns"]
-    if rev2:
+    if rev >= 2:
         numeric.append("speedup")
         counters.append("duplicate_insns")
+    if rev >= 3:
+        numeric.append("overlap_install_wall_s")
+        counters.extend(["shm_bytes", "shm_fallback",
+                         "overlap_fragments"])
     for i, row in enumerate(rows):
         if not expect(isinstance(row, dict), f"row[{i}] must be an object"):
             continue
@@ -337,7 +345,7 @@ def validate_bench_procs(obj: Any) -> list[str]:
             expect(isinstance(v, int) and not isinstance(v, bool)
                    and v >= 0,
                    f"row[{i}]: {col} must be an int >= 0")
-        if rev2:
+        if rev >= 2:
             s, p, spd = (row.get("serial_wall_s"), row.get("procs_wall_s"),
                          row.get("speedup"))
             if all(isinstance(x, (int, float)) and not isinstance(x, bool)

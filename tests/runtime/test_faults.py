@@ -167,7 +167,8 @@ class TestParseShardErrorAsData:
     def test_injected_exception_returned_as_error_delta(self, workload):
         sb, _ = workload
         task = ShardTask(0, tuple(sb.binary.entry_addresses()))
-        payload = (next(_tokens()), sb.binary.image.to_bytes(), _opts(),
+        payload = (next(_tokens()),
+                   ("bytes", sb.binary.image.to_bytes()), _opts(),
                    False, task, 1, FaultPlan.from_spec("exc@0"))
         delta = _parse_shard(payload)
         assert delta.error is not None
@@ -177,8 +178,8 @@ class TestParseShardErrorAsData:
     def test_garbage_image_returned_as_error_delta(self, workload):
         sb, _ = workload
         task = ShardTask(0, tuple(sb.binary.entry_addresses()))
-        payload = (next(_tokens()), b"not an image", _opts(), False,
-                   task, 1, None)
+        payload = (next(_tokens()), ("bytes", b"not an image"), _opts(),
+                   False, task, 1, None)
         delta = _parse_shard(payload)
         assert delta.error is not None and "ImageFormatError" in delta.error
 
@@ -194,7 +195,7 @@ class TestWorkerBinaryCache:
 
     def test_evicts_one_oldest_not_all(self, workload):
         sb, _ = workload
-        raw = sb.binary.image.to_bytes()
+        raw = ("bytes", sb.binary.image.to_bytes())
         for token in range(1, 9):  # fill to the cap of 8
             _worker_binary(token, raw)
         assert len(_WORKER_BINARIES) == 8
@@ -205,7 +206,7 @@ class TestWorkerBinaryCache:
 
     def test_hit_refreshes_recency(self, workload):
         sb, _ = workload
-        raw = sb.binary.image.to_bytes()
+        raw = ("bytes", sb.binary.image.to_bytes())
         for token in range(1, 9):
             _worker_binary(token, raw)
         _worker_binary(1, raw)  # hit: token 1 becomes most recent
@@ -214,9 +215,28 @@ class TestWorkerBinaryCache:
 
     def test_hit_returns_cached_object(self, workload):
         sb, _ = workload
-        raw = sb.binary.image.to_bytes()
+        raw = ("bytes", sb.binary.image.to_bytes())
         first = _worker_binary(42, raw)
         assert _worker_binary(42, raw) is first
+
+    def test_shm_transport_attaches_and_releases(self, workload):
+        from repro.runtime.shm import ImageSegment, live_segments
+
+        sb, _ = workload
+        seg = ImageSegment.create(sb.binary.image.to_bytes())
+        try:
+            binary = _worker_binary(60, ("shm", seg.name, seg.size))
+            assert binary.image.name == sb.binary.image.name
+            _binary, handle = _WORKER_BINARIES[60]
+            assert handle is not None
+            # Eviction must release the mapping handle, not leak it.
+            raw = ("bytes", sb.binary.image.to_bytes())
+            for token in range(61, 61 + 8):
+                _worker_binary(token, raw)
+            assert 60 not in _WORKER_BINARIES
+        finally:
+            seg.unlink()
+        assert seg.name not in live_segments()
 
 
 class TestInlineLadder:

@@ -1,0 +1,185 @@
+"""Shared-memory transport lifecycle: no segment outlives its parse.
+
+The zero-copy transport (``repro.runtime.shm``) trades per-task pickled
+image copies for one named POSIX segment per run, which makes *cleanup*
+the correctness property: a leaked ``/dev/shm/repro-img-*`` name is a
+resource leak that survives the process.  This matrix pins the
+guarantee ISSUE 6 demands — the coordinator unlinks the segment on
+normal exit, on every rung of the degradation ladder, under a killed
+worker and across a pool respawn — plus the unit behavior of
+:class:`ImageSegment` itself (payload slicing over the page-rounded
+mapping, idempotent unlink, the atexit sweep and the worker-side
+graveyard for still-aliased mappings).
+
+Leak checks look at both the coordinator registry
+(:func:`live_segments`) and the kernel's view (``/dev/shm`` globbing,
+where the mount exists) so a registry bug can't hide a real leak.
+"""
+
+from __future__ import annotations
+
+import glob
+import multiprocessing
+import os
+
+import pytest
+
+from repro.core import parse_binary
+from repro.runtime import ProcsRuntime, SerialRuntime
+from repro.runtime.faults import FaultPlan
+from repro.runtime.shm import (
+    ImageSegment,
+    SEGMENT_PREFIX,
+    attach_view,
+    live_segments,
+    release_view,
+    sweep,
+)
+from repro.synth import tiny_binary
+
+
+def _pool_works() -> bool:
+    try:
+        with multiprocessing.get_context().Pool(1) as p:
+            return p.apply(int, ("1",)) == 1
+    except Exception:
+        return False
+
+
+needs_pool = pytest.mark.skipif(not _pool_works(),
+                                reason="multiprocessing pool unavailable")
+
+
+def _kernel_segments() -> list[str]:
+    """``repro-img-*`` names the kernel still knows about (best effort:
+    only meaningful where shared memory is backed by a /dev/shm mount).
+    """
+    return sorted(os.path.basename(p)
+                  for p in glob.glob(f"/dev/shm/{SEGMENT_PREFIX}*"))
+
+
+@pytest.fixture(scope="module")
+def workload():
+    sb = tiny_binary(seed=5, n_functions=24)
+    want = parse_binary(sb.binary, SerialRuntime()).signature()
+    return sb, want
+
+
+@pytest.fixture(autouse=True)
+def no_leaks():
+    """Every test starts and ends with zero live segments."""
+    sweep()
+    before = _kernel_segments()
+    yield
+    assert live_segments() == []
+    assert _kernel_segments() == before
+
+
+class TestImageSegment:
+    def test_create_attach_roundtrip(self):
+        # 5000 bytes is deliberately not page-aligned: the mapping is
+        # page-rounded, so the attach must slice to the payload length.
+        payload = bytes(range(256)) * 20 + b"tail"
+        seg = ImageSegment.create(payload)
+        try:
+            assert seg.name.startswith(SEGMENT_PREFIX)
+            assert seg.size == len(payload)
+            assert seg.name in live_segments()
+            view, handle = attach_view(seg.name, seg.size)
+            assert len(view) == len(payload)
+            assert bytes(view) == payload
+            assert view.readonly
+            release_view(handle)
+        finally:
+            seg.unlink()
+        assert seg.name not in live_segments()
+
+    def test_unlink_is_idempotent(self):
+        seg = ImageSegment.create(b"x")
+        seg.unlink()
+        seg.unlink()  # second call is a no-op, not an error
+        assert live_segments() == []
+
+    def test_attach_after_unlink_fails_cleanly(self):
+        seg = ImageSegment.create(b"payload")
+        seg.unlink()
+        with pytest.raises(FileNotFoundError):
+            attach_view(seg.name, seg.size)
+
+    def test_sweep_reclaims_leftovers(self):
+        a = ImageSegment.create(b"a")
+        b = ImageSegment.create(b"b")
+        assert live_segments() == sorted([a.name, b.name])
+        sweep()
+        assert live_segments() == []
+
+    def test_release_view_parks_aliased_mapping(self):
+        # A mapping whose view still has exported buffers cannot close;
+        # release_view must park it in the graveyard instead of raising.
+        from repro.runtime import shm as shm_mod
+
+        seg = ImageSegment.create(b"aliased-payload")
+        try:
+            view, handle = attach_view(seg.name, seg.size)
+            alias = view[2:9]  # keeps the mapping's buffer exported
+            depth = len(shm_mod._GRAVEYARD)
+            release_view(handle)
+            assert len(shm_mod._GRAVEYARD) == depth + 1
+            assert bytes(alias) == b"iased-p"  # still readable
+            alias.release()
+        finally:
+            seg.unlink()
+
+
+@needs_pool
+class TestParseLifecycle:
+    """The coordinator unlinks its segment on every exit path."""
+
+    def _run(self, workload, plan=None, **kw):
+        sb, want = workload
+        fp = FaultPlan.from_spec(plan) if plan else None
+        rt = ProcsRuntime(2, fault_plan=fp, shard_deadline=30.0, **kw)
+        assert parse_binary(sb.binary, rt).signature() == want
+        return rt
+
+    def test_normal_exit_unlinks(self, workload):
+        rt = self._run(workload)
+        assert rt.metrics.counter("procs.shm.segments") >= 1
+        assert rt.metrics.counter("procs.shm.bytes") > 0
+
+    def test_shard_retry_rung_unlinks(self, workload):
+        rt = self._run(workload, plan="exc@0x1")
+        assert rt.degradation["level"] == "none"
+
+    def test_killed_worker_unlinks(self, workload):
+        rt = self._run(workload, plan="kill@0x1")
+        # A killed worker surfaces as a pool-level fault on the ladder.
+        assert any(e["kind"] in ("pool_error", "pool_broken",
+                                 "shard_timeout")
+                   for e in rt.fault_events)
+
+    def test_pool_respawn_unlinks(self, workload):
+        # health-check failure forces a pool respawn mid-ladder; each
+        # dispatch attempt publishes and unlinks its own segment.
+        rt = self._run(workload, plan="health,exc@0x1")
+        assert rt.metrics.counter("procs.shm.segments") >= 1
+
+    def test_pool_broken_inline_rung_unlinks(self, workload):
+        rt = self._run(workload, plan="pool")
+        assert rt.degradation["level"] in ("shard_inline", "inline")
+
+    def test_serial_rung_unlinks(self, workload):
+        rt = self._run(workload, plan="excx99")
+        assert rt.degradation["level"] == "serial"
+
+    def test_shm_fault_publishes_nothing(self, workload):
+        rt = self._run(workload, plan="shm")
+        assert rt.metrics.counter("procs.shm.segments") == 0
+        assert rt.metrics.counter("procs.shm.fallback") == 1
+
+
+def test_in_process_mode_publishes_nothing(workload):
+    sb, want = workload
+    rt = ProcsRuntime(2, in_process=True)
+    assert parse_binary(sb.binary, rt).signature() == want
+    assert rt.metrics.counter("procs.shm.segments") == 0

@@ -220,10 +220,14 @@ class TestBenchProcsValidator:
                 "pool_fallback": 0,
                 "merged_cache_insns": 1000,
                 "duplicate_insns": 12,
+                "shm_bytes": 65536,
+                "shm_fallback": 0,
+                "overlap_fragments": 3,
+                "overlap_install_wall_s": 0.01,
             }],
         }
 
-    def test_rev2_sidecar_validates(self):
+    def test_rev3_sidecar_validates(self):
         doc = self._sidecar()
         assert validate_bench_procs(doc) == []
         # Full JSON round trip preserves validity.
@@ -231,8 +235,17 @@ class TestBenchProcsValidator:
 
     def test_rev1_still_accepted_without_new_columns(self):
         doc = self._sidecar(schema="repro.bench-procs/1")
-        del doc["rows"][0]["speedup"]
-        del doc["rows"][0]["duplicate_insns"]
+        for col in ("speedup", "duplicate_insns", "shm_bytes",
+                    "shm_fallback", "overlap_fragments",
+                    "overlap_install_wall_s"):
+            del doc["rows"][0][col]
+        assert validate_bench_procs(doc) == []
+
+    def test_rev2_accepted_without_rev3_columns(self):
+        doc = self._sidecar(schema="repro.bench-procs/2")
+        for col in ("shm_bytes", "shm_fallback", "overlap_fragments",
+                    "overlap_install_wall_s"):
+            del doc["rows"][0][col]
         assert validate_bench_procs(doc) == []
 
     def test_rev2_requires_speedup_and_duplicates(self):
@@ -243,6 +256,16 @@ class TestBenchProcsValidator:
         del doc["rows"][0]["duplicate_insns"]
         assert any("duplicate_insns" in p
                    for p in validate_bench_procs(doc))
+
+    def test_rev3_requires_transport_and_overlap_columns(self):
+        for col in ("shm_bytes", "shm_fallback", "overlap_fragments",
+                    "overlap_install_wall_s"):
+            doc = self._sidecar()
+            del doc["rows"][0][col]
+            assert any(col in p for p in validate_bench_procs(doc)), col
+        doc = self._sidecar()
+        doc["rows"][0]["shm_fallback"] = 0.5  # counters must be ints
+        assert any("shm_fallback" in p for p in validate_bench_procs(doc))
 
     def test_rev2_speedup_must_match_walls(self):
         doc = self._sidecar()

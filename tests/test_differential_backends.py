@@ -152,6 +152,31 @@ def test_procs_degraded_matches_serial(name, plan, reference_signatures):
         assert rt.degradation["level"] == "serial"
 
 
+def test_procs_shm_fallback_matches_serial(reference_signatures):
+    """The ``shm`` fault site downgrades the *transport* (pickled bytes
+    instead of one shared segment) without touching the sharded
+    pipeline: same signature, no degradation rung, a recorded
+    transport fault, no leaked segments."""
+    if PROCS_INLINE:
+        pytest.skip("image transport only exists on the pool path")
+    import repro.runtime.shm as shm
+    from repro.runtime.faults import FaultPlan
+
+    sb = _PROGRAMS["cross-shard-splits"]
+    rt = ProcsRuntime(PROCS_WORKERS,
+                      fault_plan=FaultPlan.from_spec("shm"),
+                      shard_deadline=30.0)
+    got = parse_binary(sb.binary, rt).signature()
+    assert got == reference_signatures["cross-shard-splits"]
+    assert [e["kind"] for e in rt.fault_events] == ["shm_unavailable"]
+    assert rt.fault_events[0]["action"] == "pickle"
+    # A transport downgrade is not a degradation rung: still sharded.
+    assert rt.degradation["level"] == "none"
+    assert rt.metrics.counter("procs.shm.fallback") == 1
+    assert rt.metrics.counter("procs.shm.segments") == 0
+    assert shm.live_segments() == []
+
+
 def test_procs_worker_counts_agree():
     """Shard geometry must not leak into the result: 1, 2 and 3 worker
     pools (different region boundaries → different cross-shard splits)
