@@ -10,6 +10,10 @@ Commands:
   ``--races`` sweep a workload across seeded schedules under the
   happens-before race detector, with ``--cfgsan`` parse the corpus with
   the CFG sanitizer enabled (see docs/SANITY.md);
+- ``fuzz``      — seeded differential-fuzzing campaign over the hostile
+  synthesis presets: every case runs on all backends (plus fault-plan
+  and sanity axes) and divergences are optionally delta-reduced to
+  minimal spec-level repros (see docs/FUZZING.md);
 - ``lint``      — static accessor-discipline lint over the source tree;
 - ``trace``     — render the Figure-2 timeline plus the metrics table
   for one traced run, optionally exporting the versioned run-report
@@ -369,6 +373,46 @@ def _check_cfgsan(args) -> int:
     return 1 if failed else 0
 
 
+def cmd_fuzz(args) -> int:
+    """Seeded differential-fuzzing campaign (docs/FUZZING.md)."""
+    from repro.fuzz.driver import fuzz_run
+    from repro.runtime.metrics import MetricsRegistry
+    from repro.runtime.tracefmt import validate_fuzz_report
+
+    metrics = None if args.no_metrics else MetricsRegistry()
+    report = fuzz_run(
+        args.runs, args.seed,
+        presets=tuple(args.presets) if args.presets else None,
+        minimize=args.minimize, n_functions=args.n_functions,
+        workers=args.workers, procs_workers=args.procs_workers,
+        procs_inline=not args.procs_pool, include_shm=args.procs_pool,
+        race_schedules=args.race_schedules, metrics=metrics)
+    errors = validate_fuzz_report(report)
+    if errors:
+        raise RuntimeError(f"fuzz report is invalid: {errors}")
+    if args.json:
+        with open(args.json, "w") as f:
+            json.dump(report, f, indent=2, sort_keys=True)
+            f.write("\n")
+        print(f"fuzz report written to {args.json}", file=sys.stderr)
+    # stdout gets the digest-free view; the full per-case rows and any
+    # minimized repro specs live in the --json sidecar.
+    out = {k: report[k] for k in
+           ("schema", "seed", "runs", "presets", "axes", "summary")}
+    out["divergences"] = [
+        {k: d[k] for k in ("index", "preset", "case_seed", "binary",
+                           "failing", "reduce")}
+        for d in report["divergences"]
+    ]
+    if metrics is not None:
+        out["metrics"] = {
+            k: v for k, v in sorted(
+                metrics.snapshot()["counters"].items())
+            if k.startswith("fuzz.")}
+    print(json.dumps(out, indent=2))
+    return 1 if report["divergences"] else 0
+
+
 def cmd_lint(args) -> int:
     from repro.sanity.lint import run_lint
 
@@ -438,6 +482,41 @@ def build_parser() -> argparse.ArgumentParser:
                          "report to this path")
     _add_runtime_args(cp)
     cp.set_defaults(fn=cmd_check)
+
+    fz = sub.add_parser(
+        "fuzz", help="seeded differential-fuzzing campaign")
+    fz.add_argument("--runs", type=int, default=30,
+                    help="number of fuzz cases (default 30)")
+    fz.add_argument("--seed", type=int, default=0,
+                    help="master seed; every per-case RNG is split off "
+                         "this one value (default 0)")
+    fz.add_argument("--preset", action="append", dest="presets",
+                    metavar="NAME",
+                    help="hostile preset axis to fuzz (repeatable; "
+                         "default: all presets, round-robin)")
+    fz.add_argument("--minimize", action="store_true",
+                    help="delta-reduce each divergence to a minimal "
+                         "spec-level repro")
+    fz.add_argument("--n-functions", type=int, default=None,
+                    help="override the per-case function count")
+    fz.add_argument("--workers", "-j", type=int, default=4,
+                    help="worker count for the vtime/threads axes")
+    fz.add_argument("--procs-workers", type=int, default=2,
+                    help="worker count for the procs axes")
+    fz.add_argument("--procs-pool", action="store_true",
+                    help="run the procs axes on a real process pool "
+                         "(adds the shm-fallback axis; default is the "
+                         "in-process sharded pipeline)")
+    fz.add_argument("--race-schedules", type=int, default=2, metavar="N",
+                    help="vtime schedules per case for the race-sweep "
+                         "axis (default 2)")
+    fz.add_argument("--json", metavar="PATH",
+                    help="write the full repro.fuzz-report/1 document "
+                         "(per-case digests, minimized repro specs) "
+                         "to this path")
+    fz.add_argument("--no-metrics", action="store_true",
+                    help="opt out of fuzz.* metrics collection")
+    fz.set_defaults(fn=cmd_fuzz)
 
     lp = sub.add_parser(
         "lint", help="static accessor-discipline / determinism lint")

@@ -704,14 +704,20 @@ class ParallelParser:
             status = self.noreturn.status_of(site.callee_addr)
             self.op_trace.append(
                 ("OCFEC", site.block.start, site.callee_addr, status.value))
-        call_end = site.block.insns[-1].end if site.block.insns else None
+        # The call instruction ends exactly at the fall-through address,
+        # and that end was recorded immutably at deferral time.  Reading
+        # ``site.block.insns`` here instead would race block splits: a
+        # split truncates the recorded block's instruction list, so its
+        # last end would name the *split point*, attaching the edge to
+        # the stale lower half (a schedule-dependent CFG, found by
+        # ``repro fuzz``).
+        call_end = site.fallthrough
         fb, created = self._ensure_block(site.fallthrough)
         owner = None
-        if call_end is not None:
-            with self.block_ends.accessor(call_end, create=False) as acc:
-                if acc is not None:
-                    owner = acc.value
-                    self._link(owner, fb, EdgeType.CALL_FT)
+        with self.block_ends.accessor(call_end, create=False) as acc:
+            if acc is not None:
+                owner = acc.value
+                self._link(owner, fb, EdgeType.CALL_FT)
         if owner is None:
             self._link(site.block, fb, EdgeType.CALL_FT)
         if created:

@@ -1,0 +1,234 @@
+"""Delta reduction: shrink a diverging binary to a minimal repro.
+
+Works at the :class:`~repro.synth.program.ProgramSpec` level — the
+declarative program description — not on raw bytes, so every candidate
+is a *well-formed* binary (csmith/creduce-style program reduction
+rather than bit truncation) and the minimized result lands in the
+corpus as a reviewable spec.
+
+Four passes, applied greedily:
+
+- **drop-function**: remove one function (never the fixed cast at
+  indices 0/1), repairing dangling references — calls to the dropped
+  function straighten to linear code, tail calls become returns,
+  noreturn chains re-target ``exit``;
+- **drop-segment**: remove one body segment;
+- **straighten**: replace one control-flow construct with straight-line
+  code — a non-linear segment becomes LINEAR, a special epilogue
+  becomes RET, a shared-error-block membership is dropped;
+- **shrink-switch**: halve one jump table's case count (keeping its
+  obscured/stack-spill flags, since those are usually the point).
+
+Each accepted candidate strictly decreases a scalar weight (functions,
+segments, constructs, switch cases), so reduction terminates; after a
+full sweep in which no candidate is accepted the spec is a fixed point,
+which makes :func:`reduce` idempotent.  Candidate order within a sweep
+is a pure function of ``(seed, sweep index)`` via :mod:`repro.seeds` —
+deterministic, never module-level ``random``.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+from typing import Any
+
+from repro.fuzz.specio import clone_spec
+from repro.seeds import spawn_rng
+from repro.synth.program import Epilogue, ProgramSpec, SegKind
+
+#: Function indices the reducer never drops: 0 is ``exit`` (the known
+#: noreturn primitive) and 1 is ``error_report`` — codegen's fixed cast.
+_FIXED_CAST = (0, 1)
+
+
+@dataclass
+class ReduceResult:
+    """Outcome of one reduction run."""
+
+    spec: ProgramSpec
+    attempts: int              #: candidates tested against the predicate
+    accepted: int              #: candidates that kept the divergence
+    size_before: tuple[int, int]   #: (functions, segments) going in
+    size_after: tuple[int, int]    #: (functions, segments) coming out
+
+
+def spec_size(spec: ProgramSpec) -> tuple[int, int]:
+    """(function count, total segment count) — the reported size."""
+    return (len(spec.functions),
+            sum(len(f.segments) for f in spec.functions))
+
+
+def _weight(spec: ProgramSpec) -> int:
+    """Scalar the passes strictly decrease (termination measure)."""
+    w = 1000 * len(spec.functions)
+    for fn in spec.functions:
+        w += 10 * len(fn.segments)
+        w += sum(1 for s in fn.segments if s.kind is not SegKind.LINEAR)
+        w += sum(s.switch.n_cases for s in fn.segments if s.switch)
+        if fn.epilogue not in (Epilogue.RET, Epilogue.HALT):
+            w += 1
+        if fn.shared_error_group is not None:
+            w += 1
+    return w
+
+
+# ------------------------------------------------------------------ passes
+
+def _drop_function(spec: ProgramSpec, index: int) -> ProgramSpec:
+    """Remove function ``index``; repair every dangling reference."""
+    out = clone_spec(spec)
+    out.functions = [f for f in out.functions if f.index != index]
+    out.noreturn_indices.discard(index)
+    for fn in out.functions:
+        if fn.tail_target == index:
+            fn.tail_target = None
+            fn.epilogue = Epilogue.RET
+        if fn.noreturn_callee == index:
+            fn.noreturn_callee = 0  # exit: always present, always noreturn
+        for seg in fn.segments:
+            if seg.kind is SegKind.CALL and seg.callee == index:
+                seg.kind = SegKind.LINEAR
+                seg.callee = None
+    return out
+
+
+def _drop_segment(spec: ProgramSpec, index: int, seg_i: int) -> ProgramSpec:
+    out = clone_spec(spec)
+    fn = next(f for f in out.functions if f.index == index)
+    del fn.segments[seg_i]
+    return out
+
+
+def _straighten(spec: ProgramSpec, index: int, what: Any) -> ProgramSpec:
+    """Replace one control-flow construct with straight-line code."""
+    out = clone_spec(spec)
+    fn = next(f for f in out.functions if f.index == index)
+    if what == "epilogue":
+        fn.epilogue = Epilogue.RET
+        fn.tail_target = None
+        fn.noreturn_callee = None
+        fn.listing1_shared_jmp = None
+        out.noreturn_indices.discard(index)
+    elif what == "shared":
+        fn.shared_error_group = None
+    else:  # segment index
+        seg = fn.segments[what]
+        seg.kind = SegKind.LINEAR
+        seg.callee = None
+        seg.switch = None
+    return out
+
+
+def _shrink_switch(spec: ProgramSpec, index: int, seg_i: int) -> ProgramSpec:
+    out = clone_spec(spec)
+    fn = next(f for f in out.functions if f.index == index)
+    sw = fn.segments[seg_i].switch
+    sw.n_cases = max(1, sw.n_cases // 2)
+    return out
+
+
+def _candidates(spec: ProgramSpec) -> list[tuple[str, Callable[[], ProgramSpec]]]:
+    """Every single-step shrink of ``spec``, as (label, thunk) pairs."""
+    out: list[tuple[str, Callable[[], ProgramSpec]]] = []
+    for fn in spec.functions:
+        i = fn.index
+        if i in _FIXED_CAST:
+            continue
+        out.append((f"drop-function:{i}", lambda i=i: _drop_function(spec, i)))
+        keep_floor = 1 if fn.secondary_entry else 0
+        for s in range(len(fn.segments) - 1, keep_floor - 1, -1):
+            out.append((f"drop-segment:{i}.{s}",
+                        lambda i=i, s=s: _drop_segment(spec, i, s)))
+        for s, seg in enumerate(fn.segments):
+            if seg.kind is not SegKind.LINEAR:
+                out.append((f"straighten:{i}.{s}",
+                            lambda i=i, s=s: _straighten(spec, i, s)))
+            if seg.switch is not None and seg.switch.n_cases > 1:
+                out.append((f"shrink-switch:{i}.{s}",
+                            lambda i=i, s=s: _shrink_switch(spec, i, s)))
+        if fn.epilogue not in (Epilogue.RET, Epilogue.HALT):
+            out.append((f"straighten-epilogue:{i}",
+                        lambda i=i: _straighten(spec, i, "epilogue")))
+        if fn.shared_error_group is not None:
+            out.append((f"straighten-shared:{i}",
+                        lambda i=i: _straighten(spec, i, "shared")))
+    return out
+
+
+# ------------------------------------------------------------------ driver
+
+def reduce(spec: ProgramSpec,
+           is_interesting: Callable[[ProgramSpec], bool],
+           *, seed: int = 0, max_attempts: int = 2000,
+           metrics: Any = None) -> ReduceResult:
+    """Greedily shrink ``spec`` while ``is_interesting`` stays true.
+
+    ``is_interesting`` receives a candidate spec and must return True
+    iff the behaviour being chased (usually an oracle divergence) is
+    still present; exceptions it raises count as "not interesting" so
+    one crashing candidate cannot abort a reduction.  The input spec
+    itself is never mutated.  Deterministic in ``(spec, seed)``; the
+    fixed point is idempotent — reducing the result again returns it
+    unchanged.
+    """
+    current = clone_spec(spec)
+    size_before = spec_size(current)
+    attempts = accepted = sweep = 0
+
+    progress = True
+    while progress and attempts < max_attempts:
+        progress = False
+        cands = _candidates(current)
+        # Dropping big things first converges faster; the shuffle only
+        # breaks ties among same-kind candidates, deterministically.
+        spawn_rng(seed, "reduce", sweep).shuffle(cands)
+        cands.sort(key=lambda c: 0 if c[0].startswith("drop-function") else 1)
+        sweep += 1
+        for _label, thunk in cands:
+            if attempts >= max_attempts:
+                break
+            candidate = thunk()
+            if _weight(candidate) >= _weight(current):
+                continue  # not a strict shrink; skip to guarantee progress
+            attempts += 1
+            if metrics is not None:
+                metrics.inc("fuzz.reduce.attempts")
+            try:
+                keep = is_interesting(candidate)
+            except Exception:
+                keep = False
+            if keep:
+                current = candidate
+                accepted += 1
+                if metrics is not None:
+                    metrics.inc("fuzz.reduce.accepted")
+                progress = True
+                break  # restart the sweep on the smaller spec
+
+    return ReduceResult(spec=current, attempts=attempts, accepted=accepted,
+                        size_before=size_before,
+                        size_after=spec_size(current))
+
+
+def divergence_predicate(axes: list | None = None, *, metrics: Any = None
+                         ) -> Callable[[ProgramSpec], bool]:
+    """An ``is_interesting`` that re-synthesizes and re-runs the oracle.
+
+    A candidate is interesting iff it still synthesizes to a binary on
+    which :func:`repro.fuzz.oracle.run_oracle` reports a divergence on
+    the given axes.
+    """
+    from repro.errors import SynthesisError
+    from repro.fuzz.oracle import run_oracle
+    from repro.synth.codegen import synthesize
+
+    def interesting(candidate: ProgramSpec) -> bool:
+        try:
+            sb = synthesize(candidate)
+        except SynthesisError:
+            return False
+        return run_oracle(sb.binary, axes, metrics=metrics,
+                          name=candidate.name).diverged
+
+    return interesting

@@ -103,8 +103,9 @@ class ConcurrentHashMap(Generic[K, V]):
     def _shard_of(self, key: K) -> int:
         return hash(key) & self._mask
 
-    def _find_or_create(self, key: K, create: bool,
-                        init: Any = _MISSING) -> tuple[_Entry | None, bool]:
+    def _find_or_create(self, key: K, create: bool, init: Any = _MISSING,
+                        lock_on_create: bool = False
+                        ) -> tuple[_Entry | None, bool]:
         """Find the entry for ``key``, creating it if requested.
 
         ``init`` is the initial value installed at creation, *inside* the
@@ -126,6 +127,14 @@ class ConcurrentHashMap(Generic[K, V]):
                 return None, False
             entry = _Entry(rt.make_lock())
             entry.value = init
+            if lock_on_create:
+                # TBB ``insert(accessor)`` atomicity: the creator must
+                # hold the entry lock *at publication*, or a losing
+                # accessor could acquire it first and observe the entry
+                # before the creator assigns its value (a real KeyError
+                # race on the threads backend, found by ``repro fuzz``).
+                # The lock is fresh, so this acquire can never block.
+                entry.lock.acquire()
             shard[key] = entry
             if rt.race_checking and init is not _MISSING:
                 # Creation installs the value inside the shard critical
@@ -154,12 +163,18 @@ class ConcurrentHashMap(Generic[K, V]):
         hold an accessor for the same key — on the virtual-time backend the
         wait is charged as lock contention.
         """
-        entry, created = self._find_or_create(key, create)
+        entry, created = self._find_or_create(key, create,
+                                              lock_on_create=True)
         if entry is None:
             yield None
             return
         m = self._m
-        if m.enabled:
+        if created:
+            # The creator already holds the entry lock (acquired at
+            # publication, inside the shard critical section).
+            if m.enabled:
+                m.inc(f"map.{self._mname}.acquires")
+        elif m.enabled:
             m.inc(f"map.{self._mname}.acquires")
             t0 = m.clock()
             entry.lock.acquire()

@@ -356,6 +356,150 @@ def validate_bench_procs(obj: Any) -> list[str]:
     return errs
 
 
+def validate_fuzz_report(obj: Any) -> list[str]:
+    """Check a fuzz-campaign report against ``repro.fuzz-report/1``.
+
+    The document is produced by :func:`repro.fuzz.driver.fuzz_run`
+    (also ``repro fuzz --json``).  Returns a list of human-readable
+    problems; empty means valid.
+    """
+    from repro.fuzz.driver import FUZZ_REPORT_SCHEMA
+    from repro.fuzz.specio import CASE_SCHEMA
+
+    errs: list[str] = []
+
+    def expect(cond: bool, msg: str) -> bool:
+        if not cond:
+            errs.append(msg)
+        return cond
+
+    def is_int(v: Any) -> bool:
+        return isinstance(v, int) and not isinstance(v, bool)
+
+    if not expect(isinstance(obj, dict), "fuzz report is not an object"):
+        return errs
+    expect(obj.get("schema") == FUZZ_REPORT_SCHEMA,
+           f"schema is {obj.get('schema')!r}, want {FUZZ_REPORT_SCHEMA!r}")
+    expect(is_int(obj.get("seed")), "seed must be an int")
+    expect(is_int(obj.get("runs")) and obj.get("runs", 0) >= 1,
+           "runs must be an int >= 1")
+    expect(isinstance(obj.get("minimize"), bool),
+           "minimize must be a bool")
+    presets = obj.get("presets")
+    if expect(isinstance(presets, list) and presets,
+              "presets must be a non-empty list"):
+        for i, p in enumerate(presets):
+            expect(isinstance(p, str), f"presets[{i}] must be a string")
+    axes = obj.get("axes")
+    if expect(isinstance(axes, list) and axes,
+              "axes must be a non-empty list"):
+        for i, a in enumerate(axes):
+            expect(isinstance(a, str), f"axes[{i}] must be a string")
+
+    cases = obj.get("cases")
+    if not expect(isinstance(cases, list), "cases must be a list"):
+        return errs
+    expect(len(cases) == obj.get("runs"),
+           f"{len(cases)} case rows for runs={obj.get('runs')!r}")
+    for i, c in enumerate(cases):
+        if not expect(isinstance(c, dict), f"cases[{i}] must be an object"):
+            continue
+        expect(c.get("index") == i, f"cases[{i}]: index must be {i}")
+        expect(isinstance(presets, list) and c.get("preset") in presets,
+               f"cases[{i}]: preset {c.get('preset')!r} not in presets")
+        expect(is_int(c.get("case_seed")),
+               f"cases[{i}]: case_seed must be an int")
+        expect(isinstance(c.get("binary"), str),
+               f"cases[{i}]: binary must be a string")
+        expect(isinstance(c.get("reference"), str),
+               f"cases[{i}]: reference must be a string")
+        expect(isinstance(c.get("reference_digest"), str),
+               f"cases[{i}]: reference_digest must be a string")
+        digests = c.get("digests")
+        if expect(isinstance(digests, dict),
+                  f"cases[{i}]: digests must be an object"):
+            for k, v in digests.items():
+                expect(isinstance(k, str) and isinstance(v, str),
+                       f"cases[{i}]: digest {k!r} must map str to str")
+            ref = c.get("reference")
+            expect(digests.get(ref) == c.get("reference_digest"),
+                   f"cases[{i}]: digests[{ref!r}] must equal "
+                   f"reference_digest")
+        failing = c.get("failing")
+        if expect(isinstance(failing, list),
+                  f"cases[{i}]: failing must be a list"):
+            for a in failing:
+                expect(isinstance(axes, list) and a in axes,
+                       f"cases[{i}]: failing axis {a!r} not in axes")
+        findings = c.get("findings")
+        if expect(isinstance(findings, dict),
+                  f"cases[{i}]: findings must be an object"):
+            for k, v in findings.items():
+                expect(isinstance(k, str) and isinstance(v, list)
+                       and all(isinstance(f, dict) for f in v),
+                       f"cases[{i}]: findings[{k!r}] must be a list of "
+                       f"objects")
+
+    divs = obj.get("divergences")
+    if not expect(isinstance(divs, list), "divergences must be a list"):
+        return errs
+    for i, d in enumerate(divs):
+        if not expect(isinstance(d, dict),
+                      f"divergences[{i}] must be an object"):
+            continue
+        expect(is_int(d.get("index")) and 0 <= d.get("index", -1)
+               < len(cases),
+               f"divergences[{i}]: index out of range")
+        failing = d.get("failing")
+        expect(isinstance(failing, list) and failing
+               and all(isinstance(a, str) for a in failing),
+               f"divergences[{i}]: failing must be a non-empty string "
+               f"list")
+        mini = d.get("minimized")
+        if mini is not None:
+            if expect(isinstance(mini, dict),
+                      f"divergences[{i}]: minimized must be object|null"):
+                expect(mini.get("schema") == CASE_SCHEMA,
+                       f"divergences[{i}]: minimized schema is "
+                       f"{mini.get('schema')!r}, want {CASE_SCHEMA!r}")
+                spec = mini.get("spec")
+                expect(isinstance(spec, dict)
+                       and isinstance(spec.get("functions"), list),
+                       f"divergences[{i}]: minimized.spec must hold a "
+                       f"functions list")
+        red = d.get("reduce")
+        if red is not None:
+            if expect(isinstance(red, dict),
+                      f"divergences[{i}]: reduce must be object|null"):
+                for k in ("attempts", "accepted"):
+                    expect(is_int(red.get(k)) and red.get(k, -1) >= 0,
+                           f"divergences[{i}]: reduce.{k} must be an "
+                           f"int >= 0")
+                for k in ("size_before", "size_after"):
+                    v = red.get(k)
+                    expect(isinstance(v, list) and len(v) == 2
+                           and all(is_int(x) and x >= 0 for x in v),
+                           f"divergences[{i}]: reduce.{k} must be a "
+                           f"2-element int list")
+
+    summary = obj.get("summary")
+    if expect(isinstance(summary, dict), "summary must be an object"):
+        expect(summary.get("cases") == len(cases),
+               f"summary.cases is {summary.get('cases')!r}, want "
+               f"{len(cases)}")
+        expect(summary.get("diverged") == len(divs),
+               f"summary.diverged is {summary.get('diverged')!r}, want "
+               f"{len(divs)}")
+        fa = summary.get("failing_axes")
+        expect(isinstance(fa, list)
+               and all(isinstance(a, str) for a in fa),
+               "summary.failing_axes must be a string list")
+        expect(is_int(summary.get("sanity_findings"))
+               and summary.get("sanity_findings", -1) >= 0,
+               "summary.sanity_findings must be an int >= 0")
+    return errs
+
+
 def validate_report(obj: Any) -> list[str]:
     """Check a run report against the documented schema.
 

@@ -19,7 +19,10 @@ A single vtime schedule only witnesses races that that interleaving
 makes visible, so :func:`run_race_sweep` re-runs a workload across a
 seeded family of schedules (``schedule_seed`` perturbs tie-break ranks
 and spawn/pop jitter) and accumulates findings into one deterministic
-report: same seeds in, byte-identical report out.
+report: same seeds in, byte-identical report out.  Schedule seeds are
+*split* from the single ``base_seed`` via :mod:`repro.seeds` — never
+derived arithmetically (overlapping ``base_seed`` ranges would share
+schedules) and never drawn from module-level ``random`` state.
 """
 
 from __future__ import annotations
@@ -242,13 +245,17 @@ def run_race_sweep(
     :class:`~repro.runtime.vtime.VirtualTimeRuntime` per schedule and
     must drive it itself (call ``rt.run``).  Findings accumulate across
     the whole sweep; the returned report is deterministic for a given
-    (workload, n_workers, schedules, base_seed).  When ``metrics`` is a
-    registry, ``sanity.race.*`` counters are recorded on it.
+    (workload, n_workers, schedules, base_seed): schedule seeds are
+    split off ``base_seed`` (see :mod:`repro.seeds`), so sweeps with
+    different base seeds explore disjoint schedule families.  When
+    ``metrics`` is a registry, ``sanity.race.*`` counters are recorded
+    on it.
     """
     from repro.runtime.vtime import VirtualTimeRuntime
+    from repro.seeds import derive_seeds
 
     det = detector if detector is not None else RaceDetector()
-    for seed in range(base_seed, base_seed + schedules):
+    for seed in derive_seeds(base_seed, schedules, "race-sweep"):
         rt = VirtualTimeRuntime(
             n_workers, cost_model=cost_model,
             schedule_seed=seed, race_detector=det)

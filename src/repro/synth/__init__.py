@@ -29,6 +29,12 @@ from repro.synth.program import (
     generate_program,
 )
 from repro.synth.codegen import SynthesizedBinary, synthesize
+from repro.synth.hostile import (
+    HOSTILE_PRESETS,
+    hostile_binary,
+    hostile_corpus,
+    hostile_params,
+)
 from repro.synth.corpus import (
     camellia_like,
     corpus_stats,
@@ -59,4 +65,8 @@ __all__ = [
     "forensics_corpus",
     "coreutils_like_corpus",
     "corpus_stats",
+    "HOSTILE_PRESETS",
+    "hostile_binary",
+    "hostile_corpus",
+    "hostile_params",
 ]

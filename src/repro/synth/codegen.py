@@ -318,9 +318,11 @@ class _CodeGen:
             self._emit_function(fn)
             # Padding (junk bytes) between some functions; never after
             # functions whose fall-through behaviour the checker measures.
+            # pct_junk_padding/junk_max_bytes are the data-in-text axis:
+            # hostile presets interleave long undecodable runs in .text.
             if (fn.epilogue in (Epilogue.RET, Epilogue.HALT, Epilogue.TAIL_CALL)
-                    and self.rng.random() < 0.15):
-                a.raw(b"\xff" * self.rng.randint(1, 8))
+                    and self.rng.random() < spec.pct_junk_padding):
+                a.raw(b"\xff" * self.rng.randint(1, spec.junk_max_bytes))
 
         # Deferred regions: cold fragments, shared error blocks, Listing 1
         # shared tail targets.
@@ -351,8 +353,9 @@ class _CodeGen:
                                   SectionFlags.DATA))
 
         symtab, dynsym, eh_starts = self._build_symbols(labels)
-        image.add_section(Section(fmt.SYMTAB, 0, symtab.to_bytes(),
-                                  SectionFlags.DEBUG_INFO))
+        if not spec.strip_symtab:
+            image.add_section(Section(fmt.SYMTAB, 0, symtab.to_bytes(),
+                                      SectionFlags.DEBUG_INFO))
         image.add_section(Section(fmt.DYNSYM, 0, dynsym.to_bytes(),
                                   SectionFlags.DEBUG_INFO))
         image.add_section(Section(fmt.EH_FRAME, 0,
@@ -387,6 +390,12 @@ class _CodeGen:
                 continue
             entry = labels[f"fn_{fn.index}"]
             size = labels[f"fn_{fn.index}_end"] - entry
+            if fn.eh_only:
+                # Out-of-band entry: the unwind tables know about this
+                # function, neither symbol table does (exception-handler
+                # style discovery).
+                eh_starts.append(entry)
+                continue
             sym = Symbol(fn.name, entry, size)
             symtab.add(sym)
             eh_starts.append(entry)

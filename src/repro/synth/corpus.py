@@ -22,6 +22,13 @@ from __future__ import annotations
 from dataclasses import replace
 
 from repro.synth.codegen import SynthesizedBinary, synthesize
+# Hostile preset axes live in repro.synth.hostile; re-exported here so
+# corpus consumers (fuzz driver, CLI) see one preset namespace.
+from repro.synth.hostile import (  # noqa: F401
+    HOSTILE_PRESETS,
+    hostile_binary,
+    hostile_corpus,
+)
 from repro.synth.program import GenParams, generate_program
 
 

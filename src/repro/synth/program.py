@@ -87,6 +87,7 @@ class FunctionSpec:
     shared_error_group: int | None = None     #: FALL_SHARED group id
     cold_outline: bool = False                #: emit a .cold region
     hidden: bool = False                      #: omit from symtab/eh_frame
+    eh_only: bool = False                     #: unwind-info entry only
     secondary_entry: bool = False             #: multi-entry (linear body)
     listing1_shared_jmp: int | None = None    #: Listing 1: raw-jmp target id
     inline_depth: int = 0                     #: DWARF inline tree depth
@@ -115,6 +116,10 @@ class ProgramSpec:
     #: knobs forwarded to DWARF generation.
     type_dies_per_cu: int = 0
     lines_per_function: int = 4
+    #: hostile-layout knobs forwarded to codegen (see GenParams).
+    strip_symtab: bool = False
+    pct_junk_padding: float = 0.15
+    junk_max_bytes: int = 8
     #: indices of functions that can never return (a real compiler never
     #: emits code after calls to these, so the generator avoids making them
     #: ordinary call targets).
@@ -147,6 +152,12 @@ class GenParams:
     pct_call_segment: float = 0.25        # chance a segment is a call
     pct_error_call: float = 0.04          # conditionally-noreturn callers
     pct_multi_entry: float = 0.01
+    #: hostile-binary knobs (all off / benign by default; the hostile
+    #: presets in :mod:`repro.synth.hostile` crank them up).
+    pct_eh_only: float = 0.0              # unwind-entry-only functions
+    strip_symtab: bool = False            # drop .symtab from the image
+    pct_junk_padding: float = 0.15        # junk bytes between functions
+    junk_max_bytes: int = 8               # max junk run length
     n_shared_error_groups: int = 2
     shared_group_size: int = 4
     noreturn_chain_len: int = 3
@@ -171,7 +182,10 @@ def generate_program(seed: int, params: GenParams,
     spec = ProgramSpec(seed=seed, name=name,
                        n_shared_error_groups=p.n_shared_error_groups,
                        type_dies_per_cu=p.type_dies_per_cu,
-                       lines_per_function=p.lines_per_function)
+                       lines_per_function=p.lines_per_function,
+                       strip_symtab=p.strip_symtab,
+                       pct_junk_padding=p.pct_junk_padding,
+                       junk_max_bytes=p.junk_max_bytes)
 
     # --- fixed cast -------------------------------------------------------
     # Index 0: the known-noreturn primitive.
@@ -257,6 +271,12 @@ def generate_program(seed: int, params: GenParams,
         fn.has_frame = rng.random() < 0.8
         fn.cold_outline = rng.random() < p.pct_cold_outline
         fn.hidden = rng.random() < p.pct_hidden
+        # Unwind-info-only entry (exception-handler style): visible to
+        # eh_frame but absent from both symbol tables.  The guard keeps
+        # the RNG stream bit-identical for benign presets (no draw when
+        # the knob is off).
+        fn.eh_only = (not fn.hidden and p.pct_eh_only > 0
+                      and rng.random() < p.pct_eh_only)
         if (not fn.hidden and fn.epilogue is Epilogue.RET
                 and rng.random() < p.pct_multi_entry):
             # Multi-entry functions get simple linear bodies so their

@@ -116,3 +116,41 @@ class TestCli:
     def test_unknown_command_rejected(self):
         with pytest.raises(SystemExit):
             main(["bogus"])
+
+
+class TestCliFuzz:
+    def test_fuzz_clean_campaign(self, capsys, tmp_path):
+        from repro.runtime.tracefmt import validate_fuzz_report
+
+        path = str(tmp_path / "fuzz.json")
+        rc = main(["fuzz", "--runs", "2", "--seed", "5",
+                   "--race-schedules", "1", "--n-functions", "12",
+                   "--preset", "stripped", "--preset", "oob-entry",
+                   "--json", path])
+        out = json.loads(capsys.readouterr().out)
+        assert rc == 0
+        assert out["summary"] == {"cases": 2, "diverged": 0,
+                                  "failing_axes": [], "sanity_findings": 0}
+        assert out["metrics"]["fuzz.cases"] == 2
+        assert out["metrics"].get("fuzz.divergences", 0) == 0
+        with open(path) as f:
+            full = json.load(f)
+        assert validate_fuzz_report(full) == []
+        assert full["axes"][0] == "serial"
+
+    def test_fuzz_repeat_is_byte_identical(self, capsys, tmp_path):
+        """Satellite 1: the whole campaign is a pure function of the
+        master seed — same invocation, byte-identical sidecar."""
+        a, b = str(tmp_path / "a.json"), str(tmp_path / "b.json")
+        for path in (a, b):
+            rc = main(["fuzz", "--runs", "3", "--seed", "7",
+                       "--race-schedules", "1", "--n-functions", "10",
+                       "--preset", "jt-overapprox", "--json", path])
+            capsys.readouterr()
+            assert rc == 0
+        assert open(a).read() == open(b).read()
+
+    def test_fuzz_rejects_unknown_preset(self, capsys):
+        with pytest.raises(ValueError, match="unknown preset"):
+            main(["fuzz", "--runs", "1", "--preset", "bogus"])
+        capsys.readouterr()

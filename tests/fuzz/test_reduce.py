@@ -1,0 +1,149 @@
+"""Reducer property battery: convergence, monotonicity, idempotence.
+
+Mirrors the ``tests/core/test_operation_properties.py`` structure: the
+properties run always over a seeded grid (zero external dependencies —
+this is what the no-hypothesis CI job executes), and additionally under
+Hypothesis when it is importable, with the seed as the fuzzed input.
+
+Two predicate tiers keep the battery fast:
+
+- a *spec-level* predicate ("contains an obscured-bound switch") drives
+  the seeded grid — no synthesis or parsing per candidate;
+- the *real* divergence predicate (synthesize + strict-jt oracle) runs
+  once, end to end, to prove the reducer shrinks an actual divergence
+  to a minimal still-diverging program.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.fuzz.oracle import OracleAxis, _parse_sig, strict_jt_axis
+from repro.fuzz.reduce import divergence_predicate, reduce, spec_size
+from repro.fuzz.specio import clone_spec, spec_to_json
+from repro.runtime import SerialRuntime
+from repro.synth.hostile import hostile_params
+from repro.synth.program import generate_program
+
+try:
+    from hypothesis import given, settings, strategies as st
+    HAVE_HYPOTHESIS = True
+except ImportError:  # minimal install: seeded grid only
+    HAVE_HYPOTHESIS = False
+
+GRID = range(8)
+
+
+def _spec(seed: int, preset: str = "jt-overapprox"):
+    return generate_program(seed, hostile_params(preset, n_functions=12),
+                            name=f"reduce-{preset}-{seed}")
+
+
+def has_obscured_switch(spec) -> bool:
+    """Cheap spec-level stand-in for "still diverges"."""
+    return any(seg.switch is not None and seg.switch.obscured_bound
+               for f in spec.functions for seg in f.segments)
+
+
+def check_reduction_properties(seed: int) -> None:
+    """The three contract properties, for one seeded input spec."""
+    spec = _spec(seed)
+    if not has_obscured_switch(spec):
+        return  # nothing to chase for this seed
+    frozen = json.dumps(spec_to_json(spec), sort_keys=True)
+
+    rr = reduce(spec, has_obscured_switch, seed=seed)
+    # 1. the interesting behaviour survives reduction;
+    assert has_obscured_switch(rr.spec)
+    # 2. never larger than the input, in functions and in blocks;
+    assert rr.size_after <= rr.size_before
+    assert rr.size_before == spec_size(spec)
+    # 3. the result is a fixed point: reducing again changes nothing.
+    again = reduce(rr.spec, has_obscured_switch, seed=seed)
+    assert again.accepted == 0
+    assert spec_to_json(again.spec) == spec_to_json(rr.spec)
+    # the input spec was never mutated.
+    assert json.dumps(spec_to_json(spec), sort_keys=True) == frozen
+
+
+class TestSeededGrid:
+    @pytest.mark.parametrize("seed", GRID, ids=str)
+    def test_reduction_properties(self, seed):
+        check_reduction_properties(seed)
+
+    def test_deterministic_in_spec_and_seed(self):
+        a = reduce(_spec(3), has_obscured_switch, seed=5)
+        b = reduce(_spec(3), has_obscured_switch, seed=5)
+        assert spec_to_json(a.spec) == spec_to_json(b.spec)
+        assert (a.attempts, a.accepted) == (b.attempts, b.accepted)
+
+    def test_fixed_cast_survives(self):
+        rr = reduce(_spec(3), has_obscured_switch, seed=0)
+        indices = {f.index for f in rr.spec.functions}
+        assert {0, 1} <= indices
+
+    def test_converges_to_single_obscured_switch(self):
+        """Greedy reduction drives a 12-function hostile program down to
+        the fixed cast plus one switch-bearing function."""
+        rr = reduce(_spec(3), has_obscured_switch, seed=0)
+        assert len(rr.spec.functions) == 3
+        switches = [seg.switch for f in rr.spec.functions
+                    for seg in f.segments if seg.switch is not None]
+        assert len(switches) == 1 and switches[0].obscured_bound
+        assert switches[0].n_cases == 1
+
+    def test_attempt_budget_is_respected(self):
+        rr = reduce(_spec(3), has_obscured_switch, seed=0, max_attempts=4)
+        assert rr.attempts <= 4
+
+    def test_uninteresting_input_is_a_noop(self):
+        spec = _spec(3, preset="stripped")
+        rr = reduce(spec, lambda s: False, seed=0)
+        assert rr.accepted == 0
+        assert spec_to_json(rr.spec) == spec_to_json(spec)
+
+    def test_crashing_predicate_counts_as_uninteresting(self):
+        def fragile(s):
+            raise RuntimeError("synthesis exploded")
+
+        rr = reduce(_spec(3), fragile, seed=0)
+        assert rr.accepted == 0
+
+    def test_clone_spec_is_independent(self):
+        spec = _spec(3)
+        twin = clone_spec(spec)
+        twin.functions[2].segments.clear()
+        assert spec.functions[2].segments
+
+
+class TestRealDivergence:
+    def test_end_to_end_against_the_strict_jt_oracle(self):
+        """The acceptance-shaped path: a genuinely diverging binary
+        (union-mode vs strict jump tables) reduces to a minimal program
+        that still diverges, and the fixed point is idempotent."""
+        axes = [OracleAxis("serial", "signature", _parse_sig(SerialRuntime)),
+                strict_jt_axis()]
+        pred = divergence_predicate(axes)
+        spec = _spec(5)
+        assert pred(spec), "fixture must diverge before reduction"
+
+        rr = reduce(spec, pred, seed=5)
+        assert pred(rr.spec), "minimized spec must still diverge"
+        assert rr.size_after < rr.size_before
+        assert len(rr.spec.functions) <= 4
+        again = reduce(rr.spec, pred, seed=5)
+        assert again.accepted == 0
+        assert spec_to_json(again.spec) == spec_to_json(rr.spec)
+
+
+if HAVE_HYPOTHESIS:
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_reduction_properties_fuzzed(seed):
+        check_reduction_properties(seed)
+else:
+    def test_reduction_properties_fuzzed():
+        """Placeholder keeping the node id stable on minimal installs."""
+        assert not HAVE_HYPOTHESIS

@@ -247,6 +247,40 @@ class TestThreadBackendStress:
         rt.run(body)
         assert box["m"].get("ctr") == 8 * 200
 
+    def test_accessor_creation_publishes_value_atomically(self):
+        """Regression (found by ``repro fuzz``): the creating accessor
+        must hold the entry lock *at publication*.  Before the fix, the
+        entry landed in the shard before the creator acquired its lock,
+        so a losing accessor could acquire first and hit ``KeyError``
+        reading the not-yet-assigned value — a schedule-dependent crash
+        on the threads backend."""
+        rt = ThreadRuntime(8)
+        box = {}
+        errors = []
+
+        def racer(i):
+            m = box["m"]
+            try:
+                for k in range(300):
+                    with m.accessor(k) as acc:
+                        if acc.created:
+                            acc.value = ("v", k)
+                        else:
+                            # Losers must always see the creator's value.
+                            assert acc.value == ("v", k)
+            except Exception as e:  # pragma: no cover - the regression
+                errors.append(e)
+
+        def body():
+            box["m"] = ConcurrentHashMap(rt)
+            g = rt.task_group()
+            for i in range(8):
+                g.spawn(racer, i)
+            g.wait()
+
+        rt.run(body)
+        assert not errors, errors
+
 
 class TestThreadRuntime:
     def test_runs_tasks_and_returns(self):

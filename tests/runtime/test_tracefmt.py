@@ -347,3 +347,69 @@ class TestRacesValidator:
         doc = run_report(rt, workload="w", races=self._swept_report())
         doc["races"]["schema"] = "nope"
         assert any(e.startswith("races:") for e in validate_report(doc))
+
+
+class TestFuzzReportSchema:
+    """The repro.fuzz-report/1 schema: real reports validate, corrupt
+    documents are flagged field-by-field."""
+
+    @staticmethod
+    def _campaign(minimize=False):
+        from repro.fuzz.driver import fuzz_run
+        from repro.fuzz.oracle import OracleAxis, _parse_sig, strict_jt_axis
+        from repro.runtime.serial import SerialRuntime
+
+        # The strict-jt ablation axis genuinely diverges on the
+        # jt-overapprox preset, so a 2-case campaign exercises both the
+        # clean and the divergent (and, with minimize, reduced) shapes.
+        axes = [OracleAxis("serial", "signature", _parse_sig(SerialRuntime)),
+                strict_jt_axis()]
+        return fuzz_run(2, 9, presets=("jt-overapprox", "stripped"),
+                        minimize=minimize, n_functions=10, axes=axes)
+
+    def test_real_campaign_report_validates(self):
+        from repro.fuzz.driver import FUZZ_REPORT_SCHEMA
+        from repro.runtime.tracefmt import validate_fuzz_report
+
+        rep = self._campaign()
+        assert rep["schema"] == FUZZ_REPORT_SCHEMA
+        assert validate_fuzz_report(rep) == []
+        assert rep["summary"]["diverged"] >= 1
+        # JSON round-trip preserves validity.
+        assert validate_fuzz_report(json.loads(json.dumps(rep))) == []
+
+    def test_minimized_campaign_report_validates(self):
+        from repro.fuzz.specio import CASE_SCHEMA
+        from repro.runtime.tracefmt import validate_fuzz_report
+
+        rep = self._campaign(minimize=True)
+        assert validate_fuzz_report(rep) == []
+        div = rep["divergences"][0]
+        assert div["minimized"]["schema"] == CASE_SCHEMA
+        before, after = div["reduce"]["size_before"], div["reduce"]["size_after"]
+        assert tuple(after) <= tuple(before)
+
+    def test_structural_corruption_is_flagged(self):
+        from repro.runtime.tracefmt import validate_fuzz_report
+
+        rep = self._campaign()
+        assert validate_fuzz_report("not a dict")
+        assert any("schema" in e for e in
+                   validate_fuzz_report(dict(rep, schema="nope")))
+        assert any("runs" in e for e in
+                   validate_fuzz_report(dict(rep, runs=0)))
+        bad = dict(rep, cases=rep["cases"][:1])
+        assert any("case rows" in e for e in validate_fuzz_report(bad))
+        bad = dict(rep)
+        bad["cases"] = [dict(rep["cases"][0], preset="bogus")] + rep["cases"][1:]
+        assert any("preset" in e for e in validate_fuzz_report(bad))
+        bad = dict(rep)
+        bad["cases"] = [dict(rep["cases"][0], reference_digest="wrong")] \
+            + rep["cases"][1:]
+        assert any("reference_digest" in e for e in validate_fuzz_report(bad))
+        bad = dict(rep)
+        bad["summary"] = dict(rep["summary"], diverged=99)
+        assert any("diverged" in e for e in validate_fuzz_report(bad))
+        bad = dict(rep)
+        bad["divergences"] = [dict(rep["divergences"][0], failing=[])]
+        assert any("failing" in e for e in validate_fuzz_report(bad))
