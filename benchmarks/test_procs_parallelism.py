@@ -5,19 +5,24 @@ paper's actual claim is wall-clock speedup on real hardware.  The procs
 backend is the one substrate in this reproduction with true hardware
 parallelism (no GIL), so this benchmark adds the wall-clock column: one
 serial parse per Table 1 binary against a sweep of procs worker counts
-(default 2/4/8, ``REPRO_PROCS_SWEEP``), plus the fan-out/merge split the
-backend reports, the shared-memory transport volume, the merge/fan-out
-overlap and the cross-shard redundancy (``procs.duplicate_insns``).
+(default 2/4/8/16, ``REPRO_PROCS_SWEEP``), plus the fan-out/merge split
+the backend reports, the per-phase coordinator breakdown
+(install/frontier/wave/finalize from the ``procs.phase.*`` histograms),
+the shared-memory transport volume, the merge/fan-out overlap and the
+cross-shard redundancy (``procs.duplicate_insns``).
 
 Speedup is hardware-dependent (CI containers may expose one core, where
 the shard fan-out can only add overhead), so the asserted property is
 the paper's correctness claim — the procs CFG is byte-identical to the
 serial fixed point at every worker count — while the timings are
 recorded honestly as the tracked trajectory in the
-``procs_parallelism.json`` sidecar (``repro.bench-procs/3``, validated
-in-run).  Setting ``REPRO_PROCS_SMOKE_FACTOR=N`` additionally turns the
-run into a loose smoke guard: fail if ``procs_wall_s > N ×
-serial_wall_s`` on any row (the CI procs-smoke job uses N=2).
+``procs_parallelism.json`` sidecar (``repro.bench-procs/4``, validated
+in-run; the top-level ``cores`` field records how many CPU cores the
+harness machine actually exposed, so a flat speedup curve can be read
+against the hardware that produced it).  Setting
+``REPRO_PROCS_SMOKE_FACTOR=N`` additionally turns the run into a loose
+smoke guard: fail if ``procs_wall_s > N × serial_wall_s`` on any row
+(the CI procs-smoke job uses N=2).
 """
 
 import os
@@ -32,14 +37,14 @@ from conftest import HPC_SCALE, run_once, write_table
 PROCS_WORKERS = os.environ.get("REPRO_PROCS_WORKERS")
 #: Worker counts swept per binary.  ``REPRO_PROCS_SWEEP`` (comma list)
 #: wins; else a single ``REPRO_PROCS_WORKERS`` count (the CI smoke job
-#: pins 2); else the default 2/4/8 scaling curve.
+#: pins 2); else the default 2/4/8/16 scaling curve.
 if os.environ.get("REPRO_PROCS_SWEEP"):
     SWEEP = sorted({int(w) for w in
                     os.environ["REPRO_PROCS_SWEEP"].split(",")})
 elif PROCS_WORKERS:
     SWEEP = [int(PROCS_WORKERS)]
 else:
-    SWEEP = [2, 4, 8]
+    SWEEP = [2, 4, 8, 16]
 #: Optional loose wall-clock guard (CI smoke): procs may be at most this
 #: many times slower than serial.  Unset = record-only, never fail.
 SMOKE_FACTOR = os.environ.get("REPRO_PROCS_SMOKE_FACTOR")
@@ -48,6 +53,24 @@ SMOKE_FACTOR = os.environ.get("REPRO_PROCS_SMOKE_FACTOR")
 def _hist_s(rt, name):
     h = rt.metrics.histogram(name)
     return round((h.total if h else 0) / 1e9, 4)
+
+
+#: The five coordinator phases every procs run must time (CI procs-smoke
+#: asserts their presence via this list; keep docs/OBSERVABILITY.md in
+#: sync).
+PHASE_HISTOGRAMS = ("procs.phase.fanout_wall_ns",
+                    "procs.phase.install_wall_ns",
+                    "procs.phase.frontier_wall_ns",
+                    "procs.phase.wave_wall_ns",
+                    "procs.phase.finalize_wall_ns")
+
+
+def _cores():
+    """CPU cores the harness may actually use (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0)) or 1
+    except (AttributeError, OSError):
+        return os.cpu_count() or 1
 
 
 def test_procs_wall_clock_column(benchmark, hpc_binaries):
@@ -69,6 +92,10 @@ def test_procs_wall_clock_column(benchmark, hpc_binaries):
             assert got == want, (sb.name, workers)  # Section 8.1 equality
 
             procs_wall = rt.makespan
+            # Tentpole invariant: every coordinator phase was timed.
+            for name in PHASE_HISTOGRAMS:
+                assert rt.metrics.histogram(name) is not None, (
+                    sb.name, workers, name)
             rows.append({
                 "binary": sb.name,
                 "workers": workers,
@@ -90,26 +117,36 @@ def test_procs_wall_clock_column(benchmark, hpc_binaries):
                     rt.metrics.counter("procs.overlap.fragments"),
                 "overlap_install_wall_s":
                     _hist_s(rt, "procs.overlap.install_wall_ns"),
+                "install_wall_s": _hist_s(rt, "procs.phase.install_wall_ns"),
+                "frontier_wall_s":
+                    _hist_s(rt, "procs.phase.frontier_wall_ns"),
+                "wave_wall_s": _hist_s(rt, "procs.phase.wave_wall_ns"),
+                "finalize_wall_s":
+                    _hist_s(rt, "procs.phase.finalize_wall_ns"),
             })
 
     # The timed unit: one representative procs parse.
     rep = hpc_binaries[0]
     run_once(benchmark, parse_binary, rep.binary, ProcsRuntime(max(SWEEP)))
 
+    cores = _cores()
     lines = [f"Real-parallelism column: serial vs procs wall seconds "
-             f"(scale={HPC_SCALE}, sweep={SWEEP}, pool pre-warmed)",
+             f"(scale={HPC_SCALE}, sweep={SWEEP}, cores={cores}, "
+             f"pool pre-warmed)",
              f"{'Binary':<18} {'wrk':>4} {'serial s':>10} {'procs s':>10} "
-             f"{'speedup':>8} {'fanout s':>10} {'overlap':>8} "
-             f"{'shm KiB':>8} {'dup insn':>9} {'fallback':>9}"]
+             f"{'speedup':>8} {'fanout s':>10} {'instl s':>8} "
+             f"{'frntr s':>8} {'wave s':>8} {'final s':>8} "
+             f"{'dup insn':>9}"]
     for r in rows:
         lines.append(
             f"{r['binary']:<18} {r['workers']:>4} "
             f"{r['serial_wall_s']:>10.4f} {r['procs_wall_s']:>10.4f} "
             f"{r['speedup']:>8.2f} {r['fanout_wall_s']:>10.4f} "
-            f"{r['overlap_fragments']:>8} {r['shm_bytes'] // 1024:>8} "
-            f"{r['duplicate_insns']:>9} {r['pool_fallback']:>9}")
+            f"{r['install_wall_s']:>8.4f} {r['frontier_wall_s']:>8.4f} "
+            f"{r['wave_wall_s']:>8.4f} {r['finalize_wall_s']:>8.4f} "
+            f"{r['duplicate_insns']:>9}")
     sidecar = {"schema": BENCH_PROCS_SCHEMA, "scale": HPC_SCALE,
-               "workers": max(SWEEP), "rows": rows}
+               "workers": max(SWEEP), "cores": cores, "rows": rows}
     problems = validate_bench_procs(sidecar)
     assert not problems, problems
     write_table("procs_parallelism.txt", "\n".join(lines), data=sidecar)

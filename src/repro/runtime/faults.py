@@ -33,6 +33,9 @@ joined by commas; full format in ``docs/ROBUSTNESS.md``):
            coordinator, forcing the legacy pickled-bytes transport
            (a transport downgrade, not a degradation-ladder rung:
            the parse stays fully sharded)
+``wave``   the parser raises at the top of a noreturn-wave iteration
+           (``ParallelParser._noreturn_waves``); fires in workers,
+           where waves run over shard-local functions
 ========== ============================================================
 
 A spec fires while ``attempt <= attempts`` (default 1), so a fault that
@@ -58,7 +61,7 @@ from repro.errors import InjectedFaultError, RuntimeConfigError
 
 #: Every legal injection site, in ladder order.
 SITES = ("exc", "frag", "delay", "kill", "corrupt", "truncate",
-         "pool", "health", "shm")
+         "pool", "health", "shm", "wave")
 
 #: Environment variable consulted by :meth:`FaultPlan.from_env`.
 ENV_VAR = "REPRO_FAULT_PLAN"
@@ -247,6 +250,7 @@ def delta_digest(delta: Any) -> str:
         [repr(r) for r in frag.frontier],
         sorted(frag.reached.items()),
         frag.n_splits,
+        repr(getattr(frag, "partial", None)),
     ))
     return hashlib.sha256(payload.encode()).hexdigest()
 

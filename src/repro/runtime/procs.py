@@ -526,6 +526,13 @@ class ProcsRuntime(SerialRuntime):
         from repro.core.parallel_parser import ParseOptions
 
         opts = options or ParseOptions()
+        if opts.partial_finalize and \
+                os.environ.get("REPRO_NO_PARTIAL_FINALIZE") == "1":
+            # Resolve the kill switch coordinator-side, *before* fan-out:
+            # long-lived forked pool workers must not read the env
+            # themselves (they inherited the environment of whatever
+            # parse first created the pool).
+            opts = replace(opts, partial_finalize=False)
         self._t0 = time.perf_counter()
         self._budget_t0 = time.monotonic()
         self.fault_events = []
@@ -571,8 +578,9 @@ class ProcsRuntime(SerialRuntime):
             t_pool = time.perf_counter_ns()
             deltas = self._map_shards(binary, opts, tasks)
             if m.enabled:
-                m.observe("procs.fanout_wall_ns",
-                          time.perf_counter_ns() - t_pool)
+                fanout_wall = time.perf_counter_ns() - t_pool
+                m.observe("procs.fanout_wall_ns", fanout_wall)
+                m.observe("procs.phase.fanout_wall_ns", fanout_wall)
             self.shard_deltas = deltas
 
             # Validate every delta and keep one per shard: a timed-out

@@ -47,7 +47,8 @@ class TestDefaultAxes:
         assert axes[0].name == "serial" and axes[0].kind == "signature"
         names = [a.name for a in axes]
         assert names == ["serial", "vtime", "threads", "procs",
-                         "procs-fault", "cfgsan", "races"]
+                         "procs-no-partial", "procs-fault", "cfgsan",
+                         "races"]
 
     def test_shm_axis_only_on_request(self):
         names = [a.name for a in default_axes(include_shm=True)]
@@ -61,7 +62,7 @@ class TestDefaultAxes:
         assert not res.diverged
         assert res.failing == [] and res.findings == {}
         assert set(res.digests.values()) == {res.reference_digest}
-        assert metrics.counter("fuzz.axes.runs") == 7
+        assert metrics.counter("fuzz.axes.runs") == 8
         assert metrics.counter("fuzz.divergences") == 0
 
 

@@ -270,6 +270,26 @@ class TestInlineLadder:
         assert rt.degradation["level"] == "none"
         assert "truncated" in str(rt.shard_errors[0])
 
+    def test_wave_site_fires_mid_round_and_retries(self, workload):
+        """A worker dying inside its noreturn-wave iteration (after the
+        shard's graph work, before export) must ride the same retry
+        ladder as any mid-parse fault — and the retried shard plus the
+        coordinator's own (sharded) wave still land on serial."""
+        sb, want = workload
+        rt = _parse_with(sb, want, "wave@0x1", in_process=True)
+        assert rt.degradation["level"] == "none"
+        assert [e["kind"] for e in rt.fault_events] == ["shard_failed"]
+        assert "InjectedFaultError" in str(rt.shard_errors[0])
+        assert rt.metrics.counter("procs.retry.inline") == 1
+
+    def test_wave_exhausted_degrades_to_serial(self, workload):
+        """Wave faults on every attempt push down the full ladder; the
+        serial rung runs without a worker probe and completes."""
+        sb, want = workload
+        rt = _parse_with(sb, want, "wavex99", in_process=True)
+        assert rt.degradation["level"] == "serial"
+        assert rt.fault_events[-1]["kind"] == "sharded_parse_failed"
+
     def test_exhausted_retries_degrade_to_serial(self, workload):
         sb, want = workload
         rt = _parse_with(sb, want, "exc@0x99", in_process=True)

@@ -203,12 +203,16 @@ class TestJsonExport:
 
 
 class TestBenchProcsValidator:
+    _REV4_PHASE_COLS = ("install_wall_s", "frontier_wall_s",
+                        "wave_wall_s", "finalize_wall_s")
+
     @staticmethod
     def _sidecar(schema=BENCH_PROCS_SCHEMA):
         return {
             "schema": schema,
             "scale": 0.15,
             "workers": 4,
+            "cores": 4,
             "rows": [{
                 "binary": "LLNL1-like",
                 "workers": 4,
@@ -224,10 +228,14 @@ class TestBenchProcsValidator:
                 "shm_fallback": 0,
                 "overlap_fragments": 3,
                 "overlap_install_wall_s": 0.01,
+                "install_wall_s": 0.008,
+                "frontier_wall_s": 0.004,
+                "wave_wall_s": 0.002,
+                "finalize_wall_s": 0.006,
             }],
         }
 
-    def test_rev3_sidecar_validates(self):
+    def test_rev4_sidecar_validates(self):
         doc = self._sidecar()
         assert validate_bench_procs(doc) == []
         # Full JSON round trip preserves validity.
@@ -235,16 +243,25 @@ class TestBenchProcsValidator:
 
     def test_rev1_still_accepted_without_new_columns(self):
         doc = self._sidecar(schema="repro.bench-procs/1")
+        del doc["cores"]
         for col in ("speedup", "duplicate_insns", "shm_bytes",
                     "shm_fallback", "overlap_fragments",
-                    "overlap_install_wall_s"):
+                    "overlap_install_wall_s") + self._REV4_PHASE_COLS:
             del doc["rows"][0][col]
         assert validate_bench_procs(doc) == []
 
     def test_rev2_accepted_without_rev3_columns(self):
         doc = self._sidecar(schema="repro.bench-procs/2")
+        del doc["cores"]
         for col in ("shm_bytes", "shm_fallback", "overlap_fragments",
-                    "overlap_install_wall_s"):
+                    "overlap_install_wall_s") + self._REV4_PHASE_COLS:
+            del doc["rows"][0][col]
+        assert validate_bench_procs(doc) == []
+
+    def test_rev3_accepted_without_rev4_columns(self):
+        doc = self._sidecar(schema="repro.bench-procs/3")
+        del doc["cores"]
+        for col in self._REV4_PHASE_COLS:
             del doc["rows"][0][col]
         assert validate_bench_procs(doc) == []
 
@@ -267,9 +284,34 @@ class TestBenchProcsValidator:
         doc["rows"][0]["shm_fallback"] = 0.5  # counters must be ints
         assert any("shm_fallback" in p for p in validate_bench_procs(doc))
 
+    def test_rev4_requires_phase_columns_and_cores(self):
+        for col in self._REV4_PHASE_COLS:
+            doc = self._sidecar()
+            del doc["rows"][0][col]
+            assert any(col in p for p in validate_bench_procs(doc)), col
+        doc = self._sidecar()
+        del doc["cores"]
+        assert any("cores" in p for p in validate_bench_procs(doc))
+        doc = self._sidecar()
+        doc["cores"] = 0
+        assert any("cores" in p for p in validate_bench_procs(doc))
+
     def test_rev2_speedup_must_match_walls(self):
         doc = self._sidecar()
         doc["rows"][0]["speedup"] = 3.0  # serial/procs is actually 0.25
+        assert any("inconsistent" in p for p in validate_bench_procs(doc))
+
+    def test_speedup_rounding_tolerance_is_tight(self):
+        # Within 4-decimal rounding of the wall columns: accepted.  The
+        # true walls 0.05004/0.19996 round to the stored 0.05/0.2 while
+        # their true ratio rounds to 0.2503.
+        doc = self._sidecar()
+        doc["rows"][0]["speedup"] = 0.2503
+        assert validate_bench_procs(doc) == []
+        # Just beyond what rounding can explain: rejected.  The old
+        # validator's 1% relative slack let this through.
+        doc = self._sidecar()
+        doc["rows"][0]["speedup"] = 0.2515
         assert any("inconsistent" in p for p in validate_bench_procs(doc))
 
     def test_structural_corruption_flagged(self):

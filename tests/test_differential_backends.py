@@ -70,6 +70,18 @@ def _corpus() -> dict[str, object]:
             seed=47, n_functions=44, n_shared_error_groups=6,
             shared_group_size=8, pct_error_call=0.25,
             pct_tail_call=0.20, pct_switch=0.20),
+        # Sharded-wave bait: the noreturn wrapper chain spans half the
+        # function population, so any shard boundary cuts it — noreturn
+        # status must flow *down* the address space (each wrapper's
+        # callee sits at a higher address, often in another shard's
+        # partition) and *up* (the last wrapper calls ``exit`` at the
+        # lowest address).  Several mutual-recursion pairs land near the
+        # middle so at least one cycle straddles the boundary and is
+        # routed through ``resolve_cycles`` across partitions.
+        "wave-cross-shard": tiny_binary(
+            seed=61, n_functions=24, noreturn_chain_len=12,
+            n_noreturn_cycles=4, pct_error_call=0.30,
+            n_shared_error_groups=2, shared_group_size=4),
         # Scaled-down evaluation presets (structure, not size).
         "llnl1": llnl1_like(scale=0.02),
         "camellia": camellia_like(scale=0.02),
@@ -130,11 +142,13 @@ _FAULT_PLANS = {
     "frag-exc": "frag@1x1",
     "corrupt-delta": "corrupt@0x1",
     "truncated-delta": "truncate@1x1",
+    "wave-exc": "wave@0x1",
     "exhausted-to-serial": "excx99",
 }
 
 
-@pytest.mark.parametrize("name", ["cross-shard-splits", "noreturn-heavy"],
+@pytest.mark.parametrize("name", ["cross-shard-splits", "noreturn-heavy",
+                                  "wave-cross-shard"],
                          ids=str)
 @pytest.mark.parametrize("plan", sorted(_FAULT_PLANS), ids=str)
 def test_procs_degraded_matches_serial(name, plan, reference_signatures):
@@ -177,14 +191,35 @@ def test_procs_shm_fallback_matches_serial(reference_signatures):
     assert shm.live_segments() == []
 
 
-def test_procs_worker_counts_agree():
+@pytest.mark.parametrize("name", ["jumptable-heavy", "wave-cross-shard"],
+                         ids=str)
+def test_procs_worker_counts_agree(name, reference_signatures):
     """Shard geometry must not leak into the result: 1, 2 and 3 worker
-    pools (different region boundaries → different cross-shard splits)
-    produce the same signature."""
-    sb = _PROGRAMS["jumptable-heavy"]
-    sigs = {
-        parse_binary(sb.binary,
-                     ProcsRuntime(n, in_process=True)).signature()
-        for n in (1, 2, 3)
-    }
-    assert len(sigs) == 1
+    pools (different region boundaries → different cross-shard splits
+    and different sharded-wave partitions) all reproduce the serial
+    signature byte-for-byte."""
+    sb = _PROGRAMS[name]
+    for n in (1, 2, 3):
+        got = parse_binary(sb.binary,
+                           ProcsRuntime(n, in_process=True)).signature()
+        assert got == reference_signatures[name], (name, n)
+
+
+def test_procs_no_partial_finalize_matches_serial(reference_signatures,
+                                                  monkeypatch):
+    """``REPRO_NO_PARTIAL_FINALIZE=1`` is the degraded rung for the
+    worker-side finalize hints: the coordinator must ignore shipped
+    ``CFGFragment.partial`` data (fragments from a mixed/stale pool may
+    still carry it), recompute everything itself, and land on the same
+    byte-identical fixed point — with zero hint hits recorded."""
+    monkeypatch.setenv("REPRO_NO_PARTIAL_FINALIZE", "1")
+    for name in ("cross-shard-splits", "wave-cross-shard",
+                 "noreturn-heavy"):
+        sb = _PROGRAMS[name]
+        rt = ProcsRuntime(PROCS_WORKERS, in_process=PROCS_INLINE)
+        got = parse_binary(sb.binary, rt).signature()
+        assert got == reference_signatures[name], name
+        assert rt.degradation["level"] == "none"
+        for kind in ("closure", "wave", "sweep", "jt"):
+            assert rt.metrics.counter(f"procs.partial.{kind}_hits") == 0, (
+                name, kind)
