@@ -67,11 +67,37 @@ def main(argv: list[str] | None = None) -> int:
                          "0 even on multi-core machines")
     args = ap.parse_args(argv)
 
-    sidecar = json.loads(args.sidecar.read_text())
+    try:
+        text = args.sidecar.read_text()
+    except FileNotFoundError:
+        print(f"ERROR: sidecar not found: {args.sidecar}\n"
+              f"  generate it first, e.g.:\n"
+              f"    cd benchmarks && PYTHONPATH=../src "
+              f"python -m pytest test_procs_parallelism.py -q",
+              file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"ERROR: cannot read sidecar {args.sidecar}: {exc}",
+              file=sys.stderr)
+        return 2
+    try:
+        sidecar = json.loads(text)
+    except json.JSONDecodeError as exc:
+        print(f"ERROR: sidecar {args.sidecar} is not valid JSON: {exc}",
+              file=sys.stderr)
+        return 2
     problems = validate_bench_procs(sidecar)
     if problems:
         for p in problems:
             print(f"ERROR: invalid sidecar: {p}", file=sys.stderr)
+        rev = (sidecar.get("schema") if isinstance(sidecar, dict)
+               else None)
+        if not (isinstance(rev, str)
+                and rev.startswith("repro.bench-procs/")):
+            print(f"ERROR: sidecar schema rev is {rev!r}; this gate "
+                  f"reads repro.bench-procs/* sidecars — was the file "
+                  f"produced by benchmarks/test_procs_parallelism.py?",
+                  file=sys.stderr)
         return 2
 
     # Rev-4 sidecars record the measuring machine's core count; for

@@ -14,6 +14,11 @@ Commands:
   synthesis presets: every case runs on all backends (plus fault-plan
   and sanity axes) and divergences are optionally delta-reduced to
   minimal spec-level repros (see docs/FUZZING.md);
+- ``corpus``    — crash-isolated, resumable corpus driver: schedule a
+  seeded corpus of synthesized binaries over the shared procs pool
+  under per-binary supervision, journal every outcome, quarantine
+  binaries that exhaust their attempt budget, and resume after any
+  coordinator death with ``--resume`` (see docs/ROBUSTNESS.md);
 - ``lint``      — static accessor-discipline lint over the source tree;
 - ``trace``     — render the Figure-2 timeline plus the metrics table
   for one traced run, optionally exporting the versioned run-report
@@ -413,6 +418,46 @@ def cmd_fuzz(args) -> int:
     return 1 if report["divergences"] else 0
 
 
+def cmd_corpus(args) -> int:
+    """Crash-isolated, resumable corpus driver (docs/ROBUSTNESS.md)."""
+    from pathlib import Path
+
+    from repro.corpus import CORPUS_PRESETS, CorpusConfig, run_corpus
+    from repro.corpus.report import REPORT_NAME
+    from repro.runtime.faults import FaultPlan
+    from repro.runtime.metrics import MetricsRegistry
+    from repro.runtime.tracefmt import validate_corpus_report
+
+    plan = (FaultPlan.from_spec(args.fault_plan)
+            if args.fault_plan else None)
+    config = None
+    if not args.resume:
+        config = CorpusConfig(
+            count=args.count, seed=args.seed,
+            presets=(tuple(args.presets) if args.presets
+                     else CORPUS_PRESETS),
+            n_functions=args.n_functions, attempts=args.attempts,
+            verify=not args.no_verify, window=args.window,
+            binary_deadline=args.binary_deadline,
+            backend=args.backend, procs_workers=args.procs_workers,
+            journal_batch=args.journal_batch)
+    metrics = None if args.no_metrics else MetricsRegistry()
+    summary = run_corpus(args.dir, config, resume=args.resume,
+                         in_process=args.in_process, fault_plan=plan,
+                         metrics=metrics)
+    with open(Path(args.dir) / REPORT_NAME) as f:
+        errors = validate_corpus_report(json.load(f))
+    if errors:
+        raise RuntimeError(f"corpus report is invalid: {errors}")
+    if metrics is not None:
+        summary["metrics"] = {
+            k: v for k, v in sorted(
+                metrics.snapshot()["counters"].items())
+            if k.startswith("corpus.")}
+    print(json.dumps(summary, indent=2))
+    return 1 if summary["quarantined"] else 0
+
+
 def cmd_lint(args) -> int:
     from repro.sanity.lint import run_lint
 
@@ -517,6 +562,60 @@ def build_parser() -> argparse.ArgumentParser:
     fz.add_argument("--no-metrics", action="store_true",
                     help="opt out of fuzz.* metrics collection")
     fz.set_defaults(fn=cmd_fuzz)
+
+    co = sub.add_parser(
+        "corpus", help="crash-isolated, resumable corpus driver")
+    co.add_argument("dir",
+                    help="run directory (journal, quarantine bundles, "
+                         "final corpus report)")
+    co.add_argument("--resume", action="store_true",
+                    help="replay the directory's journal, skip "
+                         "completed work and finish the run (the "
+                         "config is restored from the journal header)")
+    co.add_argument("--count", type=int, default=50,
+                    help="number of corpus binaries (default 50)")
+    co.add_argument("--seed", type=int, default=0,
+                    help="master seed; binary i is a pure function of "
+                         "(seed, i) (default 0)")
+    co.add_argument("--preset", action="append", dest="presets",
+                    metavar="NAME",
+                    help="preset to round-robin through (repeatable; "
+                         "'benign' or any hostile preset; default: "
+                         "benign + all hostile presets)")
+    co.add_argument("--n-functions", type=int, default=None,
+                    help="override the per-binary function count")
+    co.add_argument("--attempts", type=int, default=3,
+                    help="attempt budget per binary before quarantine "
+                         "(default 3)")
+    co.add_argument("--window", type=int, default=2,
+                    help="inflight-binary window; also sizes the "
+                         "shared pool admission gate (default 2)")
+    co.add_argument("--binary-deadline", type=float, default=120.0,
+                    metavar="SECONDS",
+                    help="per-attempt deadline for one binary "
+                         "(default 120)")
+    co.add_argument("--backend", choices=["procs", "serial"],
+                    default="procs",
+                    help="analysis backend (default procs)")
+    co.add_argument("--procs-workers", type=int, default=2,
+                    help="worker count per procs parse (default 2)")
+    co.add_argument("--in-process", action="store_true",
+                    help="run procs shards in-process (no worker "
+                         "pool; test/CI escape hatch)")
+    co.add_argument("--no-verify", action="store_true",
+                    help="skip the serial reference parse per binary "
+                         "(disables divergence detection)")
+    co.add_argument("--journal-batch", type=int, default=8,
+                    metavar="N",
+                    help="journal records per fsync batch (default 8)")
+    co.add_argument("--fault-plan", metavar="SPEC",
+                    help="deterministic fault injection, including the "
+                         "corpus sites binary-crash/binary-hang/"
+                         "journal-torn/coordinator-kill "
+                         "(docs/ROBUSTNESS.md)")
+    co.add_argument("--no-metrics", action="store_true",
+                    help="opt out of corpus.* metrics collection")
+    co.set_defaults(fn=cmd_corpus)
 
     lp = sub.add_parser(
         "lint", help="static accessor-discipline / determinism lint")

@@ -1,0 +1,224 @@
+"""Append-only, crash-tolerant journal for the corpus driver.
+
+One JSONL file (``journal.jsonl`` in the run directory) records the
+run's configuration header and every per-binary outcome.  The write
+discipline makes it the run's single source of truth across coordinator
+death:
+
+- records are appended to an in-memory buffer and flushed in batches
+  (``write`` + ``flush`` + ``fsync``), so a ``kill -9`` loses at most
+  one batch of *completed* work — which a resume simply re-analyzes
+  (analysis is deterministic, so the replayed outcome is identical);
+- quarantine records flush immediately: a quarantined binary's triage
+  artifacts are already on disk, and losing the record would re-run a
+  known-bad binary's whole attempt ladder on resume;
+- replay tolerates a torn trailing line (a crash mid-``write``, or the
+  ``journal-torn`` fault site): the file is truncated back to the last
+  record boundary and appending continues.  A torn line *anywhere
+  else* means real corruption and raises :class:`CorpusError`.
+
+The ``journal-torn`` fault site (docs/ROBUSTNESS.md) tears a flush
+deterministically: the batch's bytes are cut mid-record, fsync'd, and
+the process dies via ``os._exit`` — exactly the state a power cut
+leaves behind.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Any, Iterator
+
+from repro.errors import CorpusError
+from repro.runtime.faults import FaultPlan
+
+#: Version identifier of the journal file format.
+JOURNAL_SCHEMA = "repro.corpus-journal/1"
+
+#: Journal filename inside a corpus run directory.
+JOURNAL_NAME = "journal.jsonl"
+
+
+def _encode(record: dict) -> str:
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+class Journal:
+    """The append side of the corpus journal.
+
+    Construct via :meth:`create` (fresh run: writes and fsyncs the
+    header immediately) or :meth:`resume` (existing run: replays the
+    body, truncates a torn tail, and returns the parsed records).
+    """
+
+    def __init__(self, path: Path, batch: int = 8,
+                 fault_plan: FaultPlan | None = None):
+        if batch < 1:
+            raise CorpusError("journal batch size must be >= 1")
+        self.path = Path(path)
+        self.batch = batch
+        self.fault_plan = fault_plan
+        self._buf: list[str] = []
+        #: 1-based count of flushes this *invocation* (the
+        #: ``journal-torn`` site keys on it).
+        self.flushes = 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: Path, header: dict, batch: int = 8,
+               fault_plan: FaultPlan | None = None) -> "Journal":
+        """Start a fresh journal; the header is durable on return."""
+        path = Path(path)
+        if path.exists():
+            raise CorpusError(
+                f"journal already exists: {path} (use --resume)")
+        j = cls(path, batch=batch, fault_plan=fault_plan)
+        rec = dict(header)
+        rec["kind"] = "header"
+        rec["schema"] = JOURNAL_SCHEMA
+        j.append(rec)
+        j.flush()
+        return j
+
+    @classmethod
+    def resume(cls, path: Path, batch: int = 8,
+               fault_plan: FaultPlan | None = None
+               ) -> tuple["Journal", dict, list[dict], bool]:
+        """Replay an existing journal.
+
+        Returns ``(journal, header, records, torn)``: the reopened
+        append handle, the header record, every intact body record in
+        order, and whether a torn trailing line was truncated away.
+        """
+        path = Path(path)
+        try:
+            raw = path.read_bytes()
+        except FileNotFoundError:
+            raise CorpusError(f"no journal to resume at {path}") from None
+        records, keep, torn = cls._replay(raw, str(path))
+        if torn:
+            with open(path, "r+b") as f:
+                f.truncate(keep)
+                f.flush()
+                os.fsync(f.fileno())
+        if not records or records[0].get("kind") != "header":
+            raise CorpusError(f"journal {path} has no header record")
+        header = records[0]
+        if header.get("schema") != JOURNAL_SCHEMA:
+            raise CorpusError(
+                f"journal {path} has schema {header.get('schema')!r}, "
+                f"this build reads {JOURNAL_SCHEMA!r}")
+        j = cls(path, batch=batch, fault_plan=fault_plan)
+        return j, header, records[1:], torn
+
+    @staticmethod
+    def _replay(raw: bytes, label: str) -> tuple[list[dict], int, bool]:
+        """Parse journal bytes; tolerate exactly one torn *final* line.
+
+        Returns ``(records, keep_bytes, torn)`` where ``keep_bytes`` is
+        the length of the intact prefix.
+        """
+        records: list[dict] = []
+        offset = 0
+        torn = False
+        for line in raw.splitlines(keepends=True):
+            complete = line.endswith(b"\n")
+            try:
+                rec = json.loads(line)
+                if not isinstance(rec, dict):
+                    raise ValueError("journal record is not an object")
+            except ValueError:
+                rec = None
+            if rec is None or not complete:
+                # Only the final line may be damaged (a torn write dies
+                # with the process, so nothing can follow it).
+                if offset + len(line) != len(raw):
+                    raise CorpusError(
+                        f"corrupt journal {label}: damaged record at "
+                        f"byte {offset} is not the final line")
+                torn = True
+                break
+            records.append(rec)
+            offset += len(line)
+        return records, offset, torn
+
+    # -- appending -----------------------------------------------------------
+
+    def append(self, record: dict) -> None:
+        """Buffer one record; flushes when the batch fills."""
+        self._buf.append(_encode(record))
+        if len(self._buf) >= self.batch:
+            self.flush()
+
+    def flush(self) -> None:
+        """Write, flush and fsync the buffered batch.
+
+        The ``journal-torn`` fault site fires here, keyed on this
+        invocation's 1-based flush ordinal: the batch is cut mid-record
+        before the write, made durable, and the process dies — the
+        resume path must then truncate the torn tail.
+        """
+        if not self._buf:
+            return
+        self.flushes += 1
+        data = "".join(line + "\n" for line in self._buf)
+        torn = (self.fault_plan is not None and
+                self.fault_plan.fires("journal-torn", self.flushes, 1)
+                is not None)
+        if torn:
+            # Cut inside the final record: drop its newline and half
+            # its body, the way a mid-write power cut would.
+            data = data[:max(1, len(data) - max(2, len(self._buf[-1]) // 2))]
+        with open(self.path, "ab") as f:
+            f.write(data.encode())
+            f.flush()
+            os.fsync(f.fileno())
+        if torn:
+            os._exit(86)
+        self._buf.clear()
+
+    def close(self) -> None:
+        self.flush()
+
+    @property
+    def pending(self) -> int:
+        """Records buffered but not yet durable."""
+        return len(self._buf)
+
+
+def iter_journal(path: Path) -> Iterator[dict]:
+    """Read-only replay of every intact record (header included)."""
+    try:
+        raw = Path(path).read_bytes()
+    except FileNotFoundError:
+        raise CorpusError(f"no journal at {path}") from None
+    records, _, _ = Journal._replay(raw, str(path))
+    return iter(records)
+
+
+def summarize_records(records: list[dict]) -> dict[str, Any]:
+    """Fold body records into per-binary outcome maps.
+
+    Later records win per index, which makes replay idempotent: a
+    re-analyzed binary (its completion record was buffered but never
+    flushed when the coordinator died) just overwrites itself.
+    """
+    completed: dict[int, dict] = {}
+    quarantined: dict[int, dict] = {}
+    resumes = 0
+    for rec in records:
+        kind = rec.get("kind")
+        if kind == "completed":
+            idx = rec["index"]
+            completed[idx] = rec
+            quarantined.pop(idx, None)
+        elif kind == "quarantined":
+            idx = rec["index"]
+            quarantined[idx] = rec
+            completed.pop(idx, None)
+        elif kind == "resume":
+            resumes += 1
+    return {"completed": completed, "quarantined": quarantined,
+            "resumes": resumes}

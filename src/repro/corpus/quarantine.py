@@ -1,0 +1,62 @@
+"""Quarantine artifacts: everything needed to triage one bad binary.
+
+A binary that exhausts its attempt budget is *quarantined*, not fatal:
+the run continues, and this module writes a self-contained triage
+bundle under ``<run dir>/quarantine/<NNNN>-<preset>/``:
+
+``spec.json``
+    The :class:`~repro.synth.program.ProgramSpec` in the fuzz corpus's
+    pinned-case JSON form (:mod:`repro.fuzz.specio`), so
+    ``synthesize(spec_from_json(...))`` reproduces the binary
+    bit-for-bit without re-running the corpus.
+``error.txt``
+    The final attempt's failure, reason first.
+``attempts.json``
+    The full attempt ladder: per attempt the backend, outcome, error
+    and latency — the record of what supervision tried before giving
+    up.
+
+The bundle is written before the journal's quarantine record flushes,
+so a crash between the two re-runs the binary's ladder on resume and
+rewrites the same bundle (writes are deterministic) rather than ever
+leaving a journal record pointing at nothing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.fuzz.specio import spec_to_json
+
+#: Subdirectory of a corpus run dir holding triage bundles.
+QUARANTINE_DIR = "quarantine"
+
+
+def quarantine_relpath(index: int, preset: str) -> str:
+    """Stable bundle path (relative to the run dir) for one binary."""
+    return f"{QUARANTINE_DIR}/{index:04d}-{preset}"
+
+
+def write_quarantine(run_dir: Path, index: int, preset: str,
+                     reason: str, error: str, attempts: list[dict],
+                     spec=None, spec_error: str | None = None) -> str:
+    """Write one triage bundle; returns its run-dir-relative path.
+
+    ``spec`` may be None when synthesis itself was the failure — the
+    bundle then records ``spec_error`` instead of ``spec.json``.
+    """
+    rel = quarantine_relpath(index, preset)
+    bundle = Path(run_dir) / rel
+    bundle.mkdir(parents=True, exist_ok=True)
+    if spec is not None:
+        (bundle / "spec.json").write_text(
+            json.dumps(spec_to_json(spec), indent=2, sort_keys=True)
+            + "\n")
+    else:
+        (bundle / "spec_error.txt").write_text(
+            (spec_error or "spec unavailable") + "\n")
+    (bundle / "error.txt").write_text(f"reason: {reason}\n{error}\n")
+    (bundle / "attempts.json").write_text(
+        json.dumps(attempts, indent=2, sort_keys=True) + "\n")
+    return rel

@@ -44,6 +44,11 @@ class RuntimeConfigError(ReproError):
     """A parallel runtime was misconfigured (bad worker count, etc.)."""
 
 
+class CorpusError(ReproError):
+    """The corpus driver cannot make progress (unusable run directory,
+    corrupt journal body, resume/config mismatch)."""
+
+
 class ShardError(ReproError):
     """Base class for procs-backend shard execution failures.
 

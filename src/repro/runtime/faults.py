@@ -38,6 +38,35 @@ joined by commas; full format in ``docs/ROBUSTNESS.md``):
            where waves run over shard-local functions
 ========== ============================================================
 
+Corpus-level sites (consumed by :mod:`repro.corpus`, where the
+"shard" key is reinterpreted per site — the binary index, a flush
+ordinal, or a completion ordinal):
+
+=================== ===================================================
+``binary-crash``    the corpus driver's per-binary analysis raises
+                    before synthesis (``@i`` scopes it to binary *i*,
+                    ``xN`` to that binary's first N attempts)
+``binary-hang``     the per-binary analysis sleeps ``value`` seconds
+                    before synthesis — trips the binary deadline when
+                    ``value`` exceeds it
+``journal-torn``    the journal flush writes only a prefix of its batch
+                    (tearing the final record mid-line), fsyncs, then
+                    kills the coordinator via ``os._exit`` (``@k``
+                    scopes it to the k-th flush of the run, 1-based)
+``coordinator-kill`` the coordinator dies via ``os._exit`` immediately
+                    after recording a binary outcome, without flushing
+                    the journal buffer (``@n`` scopes it to the n-th
+                    outcome of the run, 1-based)
+=================== ===================================================
+
+The two process-killing sites (``journal-torn``, ``coordinator-kill``)
+fire *per invocation*: their ordinals restart when ``repro corpus
+--resume`` replays the journal, so a resume must be given a plan
+without them (or it dies at the same point again).  The ``binary-*``
+sites key on the binary index and attempt, both of which the journal
+replay reconstructs — keep them in the resume's plan so a re-analyzed
+binary walks the identical retry sequence.
+
 A spec fires while ``attempt <= attempts`` (default 1), so a fault that
 fires on the first attempt and not the second exercises exactly one
 rung of the retry ladder; ``x99`` effectively never stops firing and
@@ -59,15 +88,18 @@ from typing import Any
 
 from repro.errors import InjectedFaultError, RuntimeConfigError
 
-#: Every legal injection site, in ladder order.
+#: Every legal injection site, in ladder order.  The hyphenated tail
+#: entries are corpus-level sites consumed by :mod:`repro.corpus`.
 SITES = ("exc", "frag", "delay", "kill", "corrupt", "truncate",
-         "pool", "health", "shm", "wave")
+         "pool", "health", "shm", "wave",
+         "binary-crash", "binary-hang", "journal-torn",
+         "coordinator-kill")
 
 #: Environment variable consulted by :meth:`FaultPlan.from_env`.
 ENV_VAR = "REPRO_FAULT_PLAN"
 
 _SPEC = re.compile(
-    r"^(?P<site>[a-z]+)"
+    r"^(?P<site>[a-z][a-z-]*)"
     r"(?:@(?P<shard>\d+|\*))?"
     r"(?:x(?P<attempts>\d+))?"
     r"(?:=(?P<value>\d+(?:\.\d+)?))?$")
@@ -205,6 +237,40 @@ def inject_inline_entry(plan: FaultPlan | None, shard_id: int,
     for site in ("kill", "exc"):
         if plan.fires(site, shard_id, attempt):
             raise InjectedFaultError(site, shard_id, attempt)
+
+
+def inject_binary_entry(plan: FaultPlan | None, index: int,
+                        attempt: int) -> None:
+    """Corpus-driver per-binary entry faults: hang, then crash.
+
+    The ``shard`` key of the spec grammar is the binary index here, and
+    ``attempt`` the binary's attempt number — both reconstructed
+    identically by a journal replay, so a resumed run re-injects the
+    same faults for any binary it re-analyzes.  The hang is a plain
+    sleep on the supervisor thread; the binary deadline is enforced by
+    the corpus scheduler, which abandons the attempt and lets the
+    sleeping thread die with the process.
+    """
+    if not plan:
+        return
+    spec = plan.fires("binary-hang", index, attempt)
+    if spec is not None:
+        time.sleep(spec.value)
+    if plan.fires("binary-crash", index, attempt):
+        raise InjectedFaultError("binary-crash", index, attempt)
+
+
+def maybe_kill_coordinator(plan: FaultPlan | None, ordinal: int) -> None:
+    """The ``coordinator-kill`` site: die hard after the ``ordinal``-th
+    recorded binary outcome, before the journal buffer is flushed.
+
+    ``os._exit`` skips atexit handlers — including the shm sweep — so
+    this models a real ``kill -9``/OOM kill: buffered journal records
+    are lost (the resume re-analyzes them) and any published segments
+    leak until the next run's orphan sweep reaps them.
+    """
+    if plan and plan.fires("coordinator-kill", ordinal, 1):
+        os._exit(86)
 
 
 def corrupt_delta(plan: FaultPlan | None, delta: Any, shard_id: int,

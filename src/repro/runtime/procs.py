@@ -111,6 +111,7 @@ import atexit
 import itertools
 import multiprocessing
 import os
+import threading
 import time
 from collections import OrderedDict
 from dataclasses import dataclass, field, replace
@@ -177,6 +178,67 @@ DEFAULT_MAX_POOL_RESPAWNS = 2
 #: The degradation ladder, least to most degraded.  ``rt.degradation``
 #: reports the highest level a parse reached.
 DEGRADATION_LEVELS = ("none", "shard_inline", "inline", "serial")
+
+
+class PoolAdmission:
+    """A resizable counting gate over concurrent shard fan-outs.
+
+    Multi-binary drivers (the corpus driver in :mod:`repro.corpus`)
+    run many parses concurrently against the one shared worker pool; an
+    unbounded fan-out of fan-outs turns a single wedged binary into
+    pool-wide head-of-line blocking.  Every :class:`ProcsRuntime`
+    handed the same ``admission`` object must win a slot before its
+    fan-out touches the pool (or the inline path — the gate bounds
+    coordinator load too) and releases it when the fan-out completes on
+    any ladder rung.
+
+    ``resize`` lets a supervisor shrink the window mid-run (the corpus
+    ladder's first rung): in-flight fan-outs are never preempted, but
+    no new one is admitted until the active count drops below the new
+    limit.  Waits are observable via ``procs.admission.*`` metrics on
+    the waiting runtime.
+    """
+
+    def __init__(self, limit: int):
+        if limit < 1:
+            raise RuntimeConfigError("admission limit must be >= 1")
+        self._cond = threading.Condition()
+        self._limit = limit
+        self._active = 0
+
+    @property
+    def limit(self) -> int:
+        with self._cond:
+            return self._limit
+
+    @property
+    def active(self) -> int:
+        with self._cond:
+            return self._active
+
+    def resize(self, limit: int) -> None:
+        if limit < 1:
+            raise RuntimeConfigError("admission limit must be >= 1")
+        with self._cond:
+            self._limit = limit
+            self._cond.notify_all()
+
+    def acquire(self) -> int:
+        """Block until a slot is free; returns nanoseconds waited."""
+        t0 = None
+        with self._cond:
+            while self._active >= self._limit:
+                if t0 is None:
+                    t0 = time.perf_counter_ns()
+                self._cond.wait()
+            self._active += 1
+        return 0 if t0 is None else time.perf_counter_ns() - t0
+
+    def release(self) -> None:
+        with self._cond:
+            if self._active > 0:
+                self._active -= 1
+            self._cond.notify_all()
 
 
 @dataclass(frozen=True)
@@ -368,26 +430,35 @@ def _parse_shard(payload: tuple) -> ShardDelta:
                           error=traceback.format_exc())
 
 
+#: Serializes creation/teardown of the shared pool: multi-binary
+#: drivers run concurrent fan-outs from supervisor threads, and an
+#: unguarded create/create race would terminate a pool another fan-out
+#: is mid-dispatch on.
+_POOL_GUARD = threading.RLock()
+
+
 def _shared_pool(ctx, processes: int):
     """Return the cached worker pool, recreating it on a config change."""
     global _POOL, _POOL_KEY
-    key = (ctx.get_start_method(), processes)
-    if _POOL is not None and _POOL_KEY == key:
+    with _POOL_GUARD:
+        key = (ctx.get_start_method(), processes)
+        if _POOL is not None and _POOL_KEY == key:
+            return _POOL
+        shutdown_pool()
+        _POOL = ctx.Pool(processes=processes)
+        _POOL_KEY = key
         return _POOL
-    shutdown_pool()
-    _POOL = ctx.Pool(processes=processes)
-    _POOL_KEY = key
-    return _POOL
 
 
 def shutdown_pool() -> None:
     """Discard the cached worker pool (also safe when none exists)."""
     global _POOL, _POOL_KEY
-    if _POOL is not None:
-        _POOL.terminate()
-        _POOL.join()
-    _POOL = None
-    _POOL_KEY = None
+    with _POOL_GUARD:
+        if _POOL is not None:
+            _POOL.terminate()
+            _POOL.join()
+        _POOL = None
+        _POOL_KEY = None
 
 
 # Tear the pool down before interpreter shutdown dismantles the modules
@@ -416,7 +487,10 @@ class ProcsRuntime(SerialRuntime):
     - ``max_pool_respawns`` — shared-pool rebuilds per parse;
     - ``fault_plan`` — deterministic fault injection
       (:class:`~repro.runtime.faults.FaultPlan`); defaults to the plan
-      named by ``REPRO_FAULT_PLAN`` if set.
+      named by ``REPRO_FAULT_PLAN`` if set;
+    - ``admission`` — optional shared :class:`PoolAdmission` gate: the
+      fan-out must win a slot before dispatching (multi-binary drivers
+      bound their in-flight window with one gate across runtimes).
     """
 
     def __init__(self, n_workers: int, cost_model=None,
@@ -427,7 +501,8 @@ class ProcsRuntime(SerialRuntime):
                  parse_budget: float | None = None,
                  max_retries: int = DEFAULT_MAX_RETRIES,
                  max_pool_respawns: int = DEFAULT_MAX_POOL_RESPAWNS,
-                 fault_plan: FaultPlan | None = None):
+                 fault_plan: FaultPlan | None = None,
+                 admission: PoolAdmission | None = None):
         if n_workers < 1:
             raise RuntimeConfigError("need at least one worker")
         if shard_deadline is not None and shard_deadline <= 0:
@@ -454,6 +529,9 @@ class ProcsRuntime(SerialRuntime):
         self.max_pool_respawns = max_pool_respawns
         self.fault_plan = (fault_plan if fault_plan is not None
                            else FaultPlan.from_env())
+        #: optional shared :class:`PoolAdmission` gate bounding how many
+        #: fan-outs (across runtimes) may be in flight at once.
+        self.admission = admission
         self._t0: float | None = None
         self._elapsed: float | None = None
         self._budget_t0: float | None = None
@@ -641,6 +719,22 @@ class ProcsRuntime(SerialRuntime):
 
     def _map_shards(self, binary, opts, tasks: list[ShardTask]
                     ) -> list[ShardDelta]:
+        if self.admission is None:
+            return self._map_shards_gated(binary, opts, tasks)
+        waited_ns = self.admission.acquire()
+        m = self.metrics
+        if m.enabled:
+            m.inc("procs.admission.acquires")
+            if waited_ns:
+                m.inc("procs.admission.waits")
+                m.observe("procs.admission.wait_wall_ns", waited_ns)
+        try:
+            return self._map_shards_gated(binary, opts, tasks)
+        finally:
+            self.admission.release()
+
+    def _map_shards_gated(self, binary, opts, tasks: list[ShardTask]
+                          ) -> list[ShardDelta]:
         if self.in_process or len(tasks) <= 1:
             return self._map_inline(binary, opts, tasks)
         try:

@@ -20,6 +20,11 @@ Lifecycle guarantees (tested in ``tests/runtime/test_shm.py``):
   module-level registry plus an ``atexit`` sweep (:func:`sweep`)
   catches any segment a crashed parse left behind, and
   :func:`live_segments` makes the registry observable for leak tests.
+  For coordinators that died without running atexit at all (SIGKILL,
+  ``os._exit``), :func:`sweep_orphans` scans ``/dev/shm`` for
+  ``repro-img-*`` names whose embedded owner pid no longer exists and
+  unlinks them — run at corpus-driver startup and from the atexit
+  sweep, never touching segments whose owner is still alive.
 - **Workers never own anything.**  :func:`attach_view` suppresses
   ``multiprocessing.resource_tracker`` registration for the attach —
   Python < 3.13 has no ``track=False``, and a tracked worker-side
@@ -127,7 +132,67 @@ def sweep() -> None:
         seg.unlink()
 
 
-atexit.register(sweep)
+#: Where the kernel exposes POSIX shared memory names (Linux).  Orphan
+#: sweeping is a best-effort extra on platforms that have it.
+_SHM_DIR = "/dev/shm"
+
+
+def _owner_pid(name: str) -> int | None:
+    """The pid baked into a ``repro-img-<pid>-<n>`` name, or None."""
+    rest = name[len(SEGMENT_PREFIX):]
+    pid, _, counter = rest.partition("-")
+    if pid.isdigit() and counter.isdigit():
+        return int(pid)
+    return None
+
+
+def sweep_orphans() -> list[str]:
+    """Reap ``repro-img-*`` segments whose owner process is dead.
+
+    The atexit :func:`sweep` only covers *this* process's registry — a
+    coordinator killed with ``SIGKILL`` (or ``os._exit``, as the
+    ``coordinator-kill`` fault site models) never runs it, and its
+    segments outlive it in ``/dev/shm`` forever.  Segment names embed
+    the publishing pid precisely so a later process can attribute them:
+    this scans the kernel's view, probes each embedded pid with
+    ``kill(pid, 0)``, and unlinks names whose owner no longer exists.
+    Live owners (including this process) are never touched, so
+    concurrent coordinators sharing the machine are safe.  Returns the
+    names reaped; callers (the corpus driver at startup, the atexit
+    sweep) treat it as best-effort.
+    """
+    reaped: list[str] = []
+    try:
+        names = os.listdir(_SHM_DIR)
+    except OSError:  # pragma: no cover - no /dev/shm on this platform
+        return reaped
+    for name in names:
+        if not name.startswith(SEGMENT_PREFIX) or name in _LIVE:
+            continue
+        pid = _owner_pid(name)
+        if pid is None or pid == os.getpid():
+            continue
+        try:
+            os.kill(pid, 0)
+            continue  # owner is alive: its segment, not ours to reap
+        except ProcessLookupError:
+            pass  # owner is dead: orphan
+        except PermissionError:  # pragma: no cover - pid exists, other uid
+            continue
+        try:
+            os.unlink(os.path.join(_SHM_DIR, name))
+            reaped.append(name)
+        except OSError:  # pragma: no cover - raced another sweeper
+            pass
+    return sorted(reaped)
+
+
+def _sweep_all() -> None:  # pragma: no cover - exercised via atexit
+    sweep()
+    sweep_orphans()
+
+
+atexit.register(_sweep_all)
 
 
 def attach_view(name: str, size: int) -> tuple[memoryview, tuple]:

@@ -524,6 +524,172 @@ def validate_fuzz_report(obj: Any) -> list[str]:
     return errs
 
 
+def validate_corpus_report(obj: Any) -> list[str]:
+    """Check a corpus report against ``repro.corpus-report/1``.
+
+    The document is produced by :func:`repro.corpus.run_corpus` (also
+    ``repro corpus``) and is a pure function of the run's journal —
+    the chaos tests additionally pin its *byte* form across
+    kill/resume.  Returns a list of human-readable problems; empty
+    means valid.
+    """
+    from repro.corpus.report import REPORT_SCHEMA as CORPUS_SCHEMA
+
+    errs: list[str] = []
+
+    def expect(cond: bool, msg: str) -> bool:
+        if not cond:
+            errs.append(msg)
+        return cond
+
+    def is_int(v: Any) -> bool:
+        return isinstance(v, int) and not isinstance(v, bool)
+
+    def is_num(v: Any) -> bool:
+        return is_int(v) or isinstance(v, float)
+
+    if not expect(isinstance(obj, dict), "corpus report is not an object"):
+        return errs
+    expect(obj.get("schema") == CORPUS_SCHEMA,
+           f"schema is {obj.get('schema')!r}, want {CORPUS_SCHEMA!r}")
+
+    corpus = obj.get("corpus")
+    count = 0
+    if expect(isinstance(corpus, dict), "corpus must be an object"):
+        expect(is_int(corpus.get("seed")), "corpus.seed must be an int")
+        if expect(is_int(corpus.get("count"))
+                  and corpus.get("count", 0) >= 1,
+                  "corpus.count must be an int >= 1"):
+            count = corpus["count"]
+        presets = corpus.get("presets")
+        expect(isinstance(presets, list) and presets
+               and all(isinstance(p, str) for p in presets),
+               "corpus.presets must be a non-empty string list")
+        expect(is_int(corpus.get("attempts"))
+               and corpus.get("attempts", 0) >= 1,
+               "corpus.attempts must be an int >= 1")
+        expect(isinstance(corpus.get("verify"), bool),
+               "corpus.verify must be a bool")
+        expect(corpus.get("backend") in ("procs", "serial"),
+               f"corpus.backend {corpus.get('backend')!r} unknown")
+        expect(is_int(corpus.get("window"))
+               and corpus.get("window", 0) >= 1,
+               "corpus.window must be an int >= 1")
+
+    binaries = obj.get("binaries")
+    n_ok = n_quarantined = 0
+    if expect(isinstance(binaries, list), "binaries must be a list"):
+        expect(len(binaries) == count,
+               f"{len(binaries)} binary rows for count={count}")
+        for i, b in enumerate(binaries):
+            if not expect(isinstance(b, dict),
+                          f"binaries[{i}] must be an object"):
+                continue
+            expect(b.get("index") == i,
+                   f"binaries[{i}]: index must be {i}")
+            expect(isinstance(b.get("name"), str),
+                   f"binaries[{i}]: name must be a string")
+            expect(isinstance(b.get("preset"), str),
+                   f"binaries[{i}]: preset must be a string")
+            status = b.get("status")
+            if not expect(status in ("ok", "quarantined"),
+                          f"binaries[{i}]: status {status!r} unknown"):
+                continue
+            expect(isinstance(b.get("failures"), list),
+                   f"binaries[{i}]: failures must be a list")
+            if status == "ok":
+                n_ok += 1
+                expect(isinstance(b.get("digest"), str),
+                       f"binaries[{i}]: ok row needs a digest")
+                expect(b.get("backend") in ("procs", "serial"),
+                       f"binaries[{i}]: backend {b.get('backend')!r} "
+                       f"unknown")
+                expect(is_int(b.get("attempt"))
+                       and b.get("attempt", 0) >= 1,
+                       f"binaries[{i}]: attempt must be an int >= 1")
+                expect(is_num(b.get("latency_s"))
+                       and b.get("latency_s", -1) >= 0,
+                       f"binaries[{i}]: latency_s must be >= 0")
+                for k in ("functions", "blocks", "edges"):
+                    expect(is_int(b.get(k)) and b.get(k, -1) >= 0,
+                           f"binaries[{i}]: {k} must be an int >= 0")
+            else:
+                n_quarantined += 1
+                expect(isinstance(b.get("reason"), str),
+                       f"binaries[{i}]: quarantined row needs a reason")
+                expect(b.get("digest") is None,
+                       f"binaries[{i}]: quarantined row must not carry "
+                       f"a digest")
+
+    summary = obj.get("summary")
+    if expect(isinstance(summary, dict), "summary must be an object"):
+        expect(summary.get("count") == count,
+               f"summary.count is {summary.get('count')!r}, want {count}")
+        expect(summary.get("completed") == n_ok,
+               f"summary.completed is {summary.get('completed')!r}, "
+               f"want {n_ok}")
+        expect(summary.get("quarantined") == n_quarantined,
+               f"summary.quarantined is {summary.get('quarantined')!r}, "
+               f"want {n_quarantined}")
+
+    lat = obj.get("latency")
+    if expect(isinstance(lat, dict), "latency must be an object"):
+        expect(lat.get("count") == n_ok,
+               f"latency.count is {lat.get('count')!r}, want {n_ok}")
+        for k in ("mean_s", "p50_s", "p90_s", "p99_s", "max_s",
+                  "total_s"):
+            expect(is_num(lat.get(k)) and lat.get(k, -1) >= 0,
+                   f"latency.{k} must be a number >= 0")
+
+    thr = obj.get("throughput")
+    if expect(isinstance(thr, dict), "throughput must be an object"):
+        for k in ("total_analysis_s", "binaries_per_second"):
+            expect(is_num(thr.get(k)) and thr.get(k, -1) >= 0,
+                   f"throughput.{k} must be a number >= 0")
+
+    deg = obj.get("degradation")
+    if expect(isinstance(deg, dict), "degradation must be an object"):
+        for k in ("initial_window", "final_window"):
+            expect(is_int(deg.get(k)) and deg.get(k, 0) >= 1,
+                   f"degradation.{k} must be an int >= 1")
+        for k in ("window_shrinks", "serial_binaries"):
+            expect(is_int(deg.get(k)) and deg.get(k, -1) >= 0,
+                   f"degradation.{k} must be an int >= 0")
+
+    quarantine = obj.get("quarantine")
+    if expect(isinstance(quarantine, dict),
+              "quarantine must be an object"):
+        expect(quarantine.get("count") == n_quarantined,
+               f"quarantine.count is {quarantine.get('count')!r}, "
+               f"want {n_quarantined}")
+        reasons = quarantine.get("reasons")
+        if expect(isinstance(reasons, dict),
+                  "quarantine.reasons must be an object"):
+            expect(sum(reasons.values()) == n_quarantined
+                   if all(is_int(v) for v in reasons.values()) else False,
+                   "quarantine.reasons must be int counts summing to "
+                   "the quarantined total")
+        entries = quarantine.get("entries")
+        if expect(isinstance(entries, list),
+                  "quarantine.entries must be a list"):
+            expect(len(entries) == n_quarantined,
+                   f"{len(entries)} quarantine entries for "
+                   f"{n_quarantined} quarantined rows")
+            for i, e in enumerate(entries):
+                if not expect(isinstance(e, dict),
+                              f"quarantine.entries[{i}] must be an "
+                              f"object"):
+                    continue
+                expect(is_int(e.get("index")),
+                       f"quarantine.entries[{i}]: index must be an int")
+                expect(isinstance(e.get("reason"), str),
+                       f"quarantine.entries[{i}]: reason must be a "
+                       f"string")
+                expect(isinstance(e.get("path"), str),
+                       f"quarantine.entries[{i}]: path must be a string")
+    return errs
+
+
 def validate_report(obj: Any) -> list[str]:
     """Check a run report against the documented schema.
 

@@ -1,0 +1,144 @@
+"""Journal unit behavior: batching, torn-tail replay, idempotent folds.
+
+The crash story (kill -9 mid-run, resume, byte-identical report) rests
+on three journal properties pinned here: appends become durable in
+batches and only full batches are ever lost; replay tolerates exactly
+one torn *final* line (truncating it away) while mid-file damage is a
+hard error; and folding the record stream is idempotent per binary, so
+a re-analyzed outcome overwrites itself.  The process-killing behavior
+of the ``journal-torn`` fault site itself is exercised end-to-end in
+``test_chaos.py`` (it ``os._exit``\\ s, so it cannot run in-process
+under pytest).
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.corpus.journal import (
+    JOURNAL_SCHEMA,
+    Journal,
+    iter_journal,
+    summarize_records,
+)
+from repro.errors import CorpusError
+
+HEADER = {"count": 3, "seed": 7}
+
+
+def _completed(index: int, digest: str = "d") -> dict:
+    return {"kind": "completed", "index": index, "digest": digest}
+
+
+class TestAppendFlush:
+    def test_header_is_durable_immediately(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        Journal.create(path, HEADER, batch=100)
+        recs = list(iter_journal(path))
+        assert len(recs) == 1
+        assert recs[0]["kind"] == "header"
+        assert recs[0]["schema"] == JOURNAL_SCHEMA
+        assert recs[0]["count"] == 3
+
+    def test_appends_batch_before_hitting_disk(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = Journal.create(path, HEADER, batch=3)
+        j.append(_completed(0))
+        j.append(_completed(1))
+        assert j.pending == 2
+        assert len(list(iter_journal(path))) == 1  # header only
+        j.append(_completed(2))  # third append fills the batch
+        assert j.pending == 0
+        assert len(list(iter_journal(path))) == 4
+
+    def test_close_flushes_the_tail(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = Journal.create(path, HEADER, batch=100)
+        j.append(_completed(0))
+        j.close()
+        assert [r["kind"] for r in iter_journal(path)] == [
+            "header", "completed"]
+
+    def test_create_refuses_existing_journal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        Journal.create(path, HEADER)
+        with pytest.raises(CorpusError, match="already exists"):
+            Journal.create(path, HEADER)
+
+
+class TestResume:
+    def _write(self, path, lines: list[bytes]) -> None:
+        path.write_bytes(b"".join(lines))
+
+    def _line(self, rec: dict) -> bytes:
+        return (json.dumps(rec) + "\n").encode()
+
+    def test_round_trip(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        j = Journal.create(path, HEADER, batch=1)
+        j.append(_completed(0))
+        j.append(_completed(1))
+        j.close()
+        j2, header, records, torn = Journal.resume(path)
+        assert not torn
+        assert header["count"] == 3
+        assert [r["index"] for r in records] == [0, 1]
+        j2.append(_completed(2))
+        j2.close()
+        assert len(list(iter_journal(path))) == 4
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        hdr = dict(HEADER, kind="header", schema=JOURNAL_SCHEMA)
+        full = self._line(hdr) + self._line(_completed(0))
+        # a torn write: half of record 1's bytes, no newline
+        torn_line = self._line(_completed(1))
+        self._write(path, [full, torn_line[:len(torn_line) // 2]])
+        _, _, records, torn = Journal.resume(path)
+        assert torn
+        assert [r["index"] for r in records] == [0]
+        # the file itself was truncated back to the record boundary,
+        # so appending resumes cleanly
+        assert path.read_bytes() == full
+
+    def test_mid_file_damage_is_fatal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        hdr = dict(HEADER, kind="header", schema=JOURNAL_SCHEMA)
+        self._write(path, [self._line(hdr), b"garbage not json\n",
+                           self._line(_completed(0))])
+        with pytest.raises(CorpusError, match="corrupt journal"):
+            Journal.resume(path)
+
+    def test_missing_journal_is_fatal(self, tmp_path):
+        with pytest.raises(CorpusError, match="no journal"):
+            Journal.resume(tmp_path / "nope.jsonl")
+
+    def test_missing_header_is_fatal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        self._write(path, [self._line(_completed(0))])
+        with pytest.raises(CorpusError, match="no header"):
+            Journal.resume(path)
+
+    def test_wrong_schema_is_fatal(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        hdr = dict(HEADER, kind="header", schema="repro.corpus-journal/99")
+        self._write(path, [self._line(hdr)])
+        with pytest.raises(CorpusError, match="schema"):
+            Journal.resume(path)
+
+
+class TestSummarize:
+    def test_later_records_win_per_index(self):
+        state = summarize_records([
+            _completed(0, "a"),
+            {"kind": "quarantined", "index": 1, "reason": "crash"},
+            _completed(0, "b"),          # re-analyzed after a lost flush
+            _completed(1, "c"),          # quarantine overturned on re-run
+            {"kind": "resume"},
+        ])
+        assert state["completed"][0]["digest"] == "b"
+        assert state["completed"][1]["digest"] == "c"
+        assert state["quarantined"] == {}
+        assert state["resumes"] == 1

@@ -21,6 +21,9 @@ from __future__ import annotations
 import glob
 import multiprocessing
 import os
+import subprocess
+import sys
+from pathlib import Path
 
 import pytest
 
@@ -34,8 +37,11 @@ from repro.runtime.shm import (
     live_segments,
     release_view,
     sweep,
+    sweep_orphans,
 )
 from repro.synth import tiny_binary
+
+_SRC = Path(__file__).resolve().parents[2] / "src"
 
 
 def _pool_works() -> bool:
@@ -176,6 +182,71 @@ class TestParseLifecycle:
         rt = self._run(workload, plan="shm")
         assert rt.metrics.counter("procs.shm.segments") == 0
         assert rt.metrics.counter("procs.shm.fallback") == 1
+
+
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"),
+                    reason="no /dev/shm mount")
+class TestOrphanSweep:
+    """Dead-owner segments are reaped; live owners are never touched.
+
+    A coordinator that dies via SIGKILL or ``os._exit`` (the
+    ``coordinator-kill`` fault site) skips atexit entirely, so its
+    segments outlive it — the scenario the corpus driver's startup
+    sweep exists for.
+    """
+
+    def _leak_orphan(self) -> str:
+        """A child process publishes a segment and dies hard; returns
+        the leaked segment's name (which embeds the now-dead pid).
+
+        The child unregisters the segment from its resource tracker
+        first: a surviving tracker would unlink it at child death,
+        whereas the scenario being modeled — kill -9 of the whole
+        process group, an OOM-killed container — takes the tracker
+        down with the coordinator and leaks the name for real.
+        """
+        code = ("import os\n"
+                "from multiprocessing import resource_tracker\n"
+                "from repro.runtime.shm import ImageSegment\n"
+                "seg = ImageSegment.create(b'orphaned payload')\n"
+                "resource_tracker.unregister(seg._shm._name,"
+                " 'shared_memory')\n"
+                "print(seg.name, flush=True)\n"
+                "os._exit(0)\n")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = (str(_SRC) + os.pathsep
+                             + env.get("PYTHONPATH", ""))
+        out = subprocess.run([sys.executable, "-c", code], env=env,
+                             capture_output=True, text=True, check=True,
+                             timeout=60)
+        return out.stdout.strip()
+
+    def test_dead_owner_segment_is_reaped(self):
+        name = self._leak_orphan()
+        assert name in _kernel_segments()  # it really leaked
+        assert name in sweep_orphans()
+        assert name not in _kernel_segments()
+
+    def test_live_owner_segment_survives(self):
+        orphan = self._leak_orphan()
+        mine = ImageSegment.create(b"still owned")
+        try:
+            reaped = sweep_orphans()
+            assert orphan in reaped
+            assert mine.name not in reaped
+            assert mine.name in _kernel_segments()
+        finally:
+            mine.unlink()
+
+    def test_unparseable_names_are_left_alone(self):
+        # prefix matches but no pid is embedded: not ours to judge
+        path = Path("/dev/shm") / f"{SEGMENT_PREFIX}bogus-name"
+        path.write_bytes(b"")
+        try:
+            assert path.name not in sweep_orphans()
+            assert path.exists()
+        finally:
+            path.unlink()
 
 
 def test_in_process_mode_publishes_nothing(workload):
