@@ -1,0 +1,203 @@
+"""Whole-program call graph and its SCC condensation.
+
+Built from the parsed CFG's ``CALL``/``TAILCALL`` edges: nodes are
+function entry addresses, a directed edge ``caller -> callee`` exists
+when any block of the caller calls (or tail-calls) the callee's entry.
+Indirect calls (``ICALL``) and calls whose target is not a recognized
+function entry have no callee node; they are counted per caller so
+clients can fall back to conservative ABI summaries.
+
+The condensation drives the interprocedural scheduler
+(:mod:`repro.analyses.interproc`): SCCs are computed with an iterative
+Tarjan over address-sorted nodes and neighbors, then grouped into
+bottom-up waves (every callee SCC lands in an earlier wave than its
+callers), so all orders exposed here are canonical — independent of
+how the CFG was constructed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.cfg import EdgeType, ParsedCFG
+from repro.isa.instructions import Opcode
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call/tail-call from a caller block to a callee."""
+
+    caller: int   #: caller function entry
+    site: int     #: address of the call/branch instruction
+    callee: int   #: callee function entry
+    kind: str     #: "call" | "tailcall"
+
+
+@dataclass
+class CallGraph:
+    """Call graph over function entries, with canonical orders."""
+
+    entries: tuple[int, ...]                 #: sorted function entries
+    names: dict[int, str]
+    callees: dict[int, tuple[int, ...]]      #: sorted, de-duplicated
+    callers: dict[int, tuple[int, ...]]      #: sorted, de-duplicated
+    sites: tuple[CallSite, ...]              #: sorted by (caller, site)
+    #: per-entry count of call sites with no resolvable callee entry
+    #: (indirect calls, calls into the middle of a function).
+    unresolved: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def n_edges(self) -> int:
+        return sum(len(v) for v in self.callees.values())
+
+
+def build_call_graph(cfg: ParsedCFG) -> CallGraph:
+    """Extract the call graph from a parsed CFG."""
+    entries = tuple(f.addr for f in cfg.functions())
+    entry_set = set(entries)
+    names = {f.addr: f.name for f in cfg.functions()}
+    callees: dict[int, set[int]] = {e: set() for e in entries}
+    callers: dict[int, set[int]] = {e: set() for e in entries}
+    sites: list[CallSite] = []
+    unresolved: dict[int, int] = {e: 0 for e in entries}
+
+    for func in cfg.functions():
+        seen_sites: set[tuple[int, int, str]] = set()
+        for block in func.blocks:
+            if block.is_empty:
+                continue
+            last = block.insns[-1] if block.insns else None
+            for e in block.out_edges:
+                if e.etype is EdgeType.CALL:
+                    kind = "call"
+                elif e.etype is EdgeType.TAILCALL:
+                    kind = "tailcall"
+                else:
+                    continue
+                target = e.dst.start
+                site = last.address if last is not None else block.start
+                if target in entry_set:
+                    key = (site, target, kind)
+                    if key in seen_sites:
+                        continue  # block shared between functions
+                    seen_sites.add(key)
+                    callees[func.addr].add(target)
+                    callers[target].add(func.addr)
+                    sites.append(CallSite(func.addr, site, target, kind))
+                else:
+                    unresolved[func.addr] += 1
+            if (last is not None and last.opcode is Opcode.ICALL):
+                unresolved[func.addr] += 1
+
+    return CallGraph(
+        entries=entries,
+        names=names,
+        callees={e: tuple(sorted(v)) for e, v in callees.items()},
+        callers={e: tuple(sorted(v)) for e, v in callers.items()},
+        sites=tuple(sorted(sites,
+                           key=lambda s: (s.caller, s.site, s.callee))),
+        unresolved=unresolved,
+    )
+
+
+def tarjan_sccs(graph: CallGraph) -> list[tuple[int, ...]]:
+    """Strongly connected components, iteratively (no recursion limit).
+
+    Nodes and neighbors are visited in sorted address order and each
+    SCC's members are returned sorted, so the output is a pure function
+    of the graph.  The list is ordered by smallest member address.
+    """
+    index: dict[int, int] = {}
+    lowlink: dict[int, int] = {}
+    on_stack: set[int] = set()
+    stack: list[int] = []
+    sccs: list[tuple[int, ...]] = []
+    counter = 0
+
+    for root in graph.entries:
+        if root in index:
+            continue
+        # Each frame: (node, iterator position into its callee tuple).
+        work: list[list[int]] = [[root, 0]]
+        while work:
+            node, pos = work[-1]
+            if pos == 0:
+                index[node] = lowlink[node] = counter
+                counter += 1
+                stack.append(node)
+                on_stack.add(node)
+            advanced = False
+            neighbors = graph.callees.get(node, ())
+            while pos < len(neighbors):
+                nxt = neighbors[pos]
+                pos += 1
+                work[-1][1] = pos
+                if nxt not in index:
+                    work.append([nxt, 0])
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if lowlink[node] == index[node]:
+                comp: list[int] = []
+                while True:
+                    w = stack.pop()
+                    on_stack.discard(w)
+                    comp.append(w)
+                    if w == node:
+                        break
+                sccs.append(tuple(sorted(comp)))
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+    return sorted(sccs, key=lambda c: c[0])
+
+
+def condensation_waves(graph: CallGraph,
+                       sccs: list[tuple[int, ...]] | None = None
+                       ) -> tuple[list[tuple[int, ...]], list[list[int]]]:
+    """Bottom-up waves over the SCC condensation.
+
+    Returns ``(sccs, waves)`` where each wave is a list of SCC indices
+    whose callee SCCs all live in strictly earlier waves (Kahn levels on
+    the reversed condensation).  SCCs inside one wave are mutually
+    independent — the unit of parallel fan-out — and each wave is
+    sorted by smallest member address for determinism.
+    """
+    if sccs is None:
+        sccs = tarjan_sccs(graph)
+    scc_of: dict[int, int] = {}
+    for i, comp in enumerate(sccs):
+        for e in comp:
+            scc_of[e] = i
+
+    # Condensation edges caller-SCC -> callee-SCC (no self loops).
+    out_deps: list[set[int]] = [set() for _ in sccs]   # callee SCCs
+    rev: list[set[int]] = [set() for _ in sccs]        # caller SCCs
+    for i, comp in enumerate(sccs):
+        for e in comp:
+            for c in graph.callees.get(e, ()):
+                j = scc_of[c]
+                if j != i:
+                    out_deps[i].add(j)
+                    rev[j].add(i)
+
+    pending = [len(d) for d in out_deps]
+    frontier = sorted(i for i, n in enumerate(pending) if n == 0)
+    waves: list[list[int]] = []
+    done = 0
+    while frontier:
+        waves.append(frontier)
+        done += len(frontier)
+        nxt: set[int] = set()
+        for i in frontier:
+            for caller in rev[i]:
+                pending[caller] -= 1
+                if pending[caller] == 0:
+                    nxt.add(caller)
+        frontier = sorted(nxt)
+    assert done == len(sccs), "condensation must be acyclic"
+    return sccs, waves

@@ -57,8 +57,18 @@ class DataflowResult:
 
 
 def solve_dataflow(func: Function, problem: DataflowProblem,
-                   rt: Runtime | None = None) -> DataflowResult:
-    """Solve ``problem`` over ``func``'s intra-procedural CFG."""
+                   rt: Runtime | None = None,
+                   order_key: Callable[[Block], Any] | None = None
+                   ) -> DataflowResult:
+    """Solve ``problem`` over ``func``'s intra-procedural CFG.
+
+    ``order_key`` reorders the *initial* worklist (default: address
+    order, reversed for backward problems).  For a monotone framework
+    over a lattice of finite height the worklist converges to the same
+    unique least fixpoint whatever the visit order — only
+    ``iterations`` may differ — which the worklist-order property
+    battery pins by solving under seeded shuffles.
+    """
     blocks = function_blocks(func)
     member = member_set(func)
     forward = problem.direction is Direction.FORWARD
@@ -87,7 +97,11 @@ def solve_dataflow(func: Function, problem: DataflowProblem,
     in_facts: dict[int, Any] = {b.start: problem.init for b in blocks}
     out_facts: dict[int, Any] = {b.start: problem.init for b in blocks}
 
-    work = deque(blocks if forward else reversed(blocks))
+    if order_key is not None:
+        seed_order: list[Block] = sorted(blocks, key=order_key)
+    else:
+        seed_order = list(blocks if forward else reversed(blocks))
+    work = deque(seed_order)
     queued = {b.start for b in blocks}
     iterations = 0
     while work:

@@ -64,8 +64,13 @@ def block_transfer(block: Block, live_out: int) -> int:
     return live
 
 
-def liveness(func: Function, rt: Runtime | None = None) -> LivenessResult:
-    """Solve liveness over one function."""
+def liveness(func: Function, rt: Runtime | None = None,
+             order_key=None) -> LivenessResult:
+    """Solve liveness over one function.
+
+    ``order_key`` reorders the initial worklist (the worklist-order
+    property battery uses seeded shuffles; the fixpoint is identical).
+    """
     # At function exits the ABI return register and SP are live.
     boundary = _regs_to_bits({Reg.R0, Reg.SP})
     cost = rt.cost.liveness_per_insn if rt is not None else 0
@@ -77,7 +82,7 @@ def liveness(func: Function, rt: Runtime | None = None) -> LivenessResult:
         transfer=block_transfer,
         cost_per_transfer=cost,
     )
-    res = solve_dataflow(func, problem, rt)
+    res = solve_dataflow(func, problem, rt, order_key=order_key)
     # For a backward problem the solver's "in" facts are what flows into
     # the transfer — i.e. live-out — and its "out" facts are live-in.
     return LivenessResult(live_in=res.out_facts, live_out=res.in_facts,

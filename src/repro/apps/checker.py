@@ -209,6 +209,31 @@ def check_corpus(pairs: list[tuple[SynthesizedBinary, ParsedCFG]]
     return [check_binary(sb, cfg) for sb, cfg in pairs]
 
 
+#: check names for a ``repro.findings/1`` ground-truth document.
+GROUNDTRUTH_CHECKS = tuple(sorted(c.value for c in DiffCategory))
+
+
+def report_to_findings(reports: list[CheckReport]) -> list[dict]:
+    """Route ground-truth differences through ``repro.findings/1``.
+
+    Each :class:`Difference` becomes one finding record whose rule is
+    the :class:`DiffCategory` value; the paper bucket (when attributed)
+    rides along in the detail text so the sidecar stays flat.
+    """
+    from repro.analyses.findings import finding
+
+    out: list[dict] = []
+    for r in reports:
+        for d in r.differences:
+            detail = d.detail
+            if d.paper_category:
+                detail = f"{detail} [paper category {d.paper_category}]"
+            out.append(finding(d.category.value, detail,
+                               binary=r.binary_name, function=d.name,
+                               address=d.address))
+    return out
+
+
 def summarize(reports: list[CheckReport]) -> dict:
     """Aggregate counts across a corpus (the Section 8.1 summary)."""
     total = {

@@ -10,6 +10,10 @@ Commands:
   ``--races`` sweep a workload across seeded schedules under the
   happens-before race detector, with ``--cfgsan`` parse the corpus with
   the CFG sanitizer enabled (see docs/SANITY.md);
+- ``analyze``   — parallel interprocedural checkers over a workload or a
+  seeded hostile corpus: call-graph SCC waves, summary fixpoint, and a
+  deterministic ``repro.findings/1`` sidecar that is byte-identical
+  across backends and worker counts (see docs/ANALYSES.md);
 - ``fuzz``      — seeded differential-fuzzing campaign over the hostile
   synthesis presets: every case runs on all backends (plus fault-plan
   and sanity axes) and divergences are optionally delta-reduced to
@@ -297,6 +301,22 @@ def cmd_check(args) -> int:
         rt = _make_rt(args)
         cfg = parse_binary(sb.binary, rt)
         reports.append(check_binary(sb, cfg))
+    if args.json:
+        from repro.analyses.findings import findings_document, write_findings
+        from repro.apps.checker import GROUNDTRUTH_CHECKS, report_to_findings
+        from repro.runtime.tracefmt import validate_findings
+
+        doc = findings_document(
+            "groundtruth", list(GROUNDTRUTH_CHECKS),
+            report_to_findings(reports),
+            subject={"corpus": "coreutils_like_corpus",
+                     "n_binaries": args.n_binaries})
+        errors = validate_findings(doc)
+        if errors:
+            raise RuntimeError(f"findings document is invalid: {errors}")
+        write_findings(args.json, doc)
+        print(f"ground-truth findings written to {args.json}",
+              file=sys.stderr)
     print(json.dumps(summarize(reports), indent=2))
     return 0
 
@@ -376,6 +396,68 @@ def _check_cfgsan(args) -> int:
         "failed": failed,
     }, indent=2))
     return 1 if failed else 0
+
+
+def cmd_analyze(args) -> int:
+    """Interprocedural checkers over a workload or a seeded corpus."""
+    from repro.analyses.checkers import resolve_checks
+    from repro.analyses.findings import findings_document, write_findings
+    from repro.analyses.interproc import run_checkers
+    from repro.runtime.tracefmt import validate_findings
+
+    try:
+        checks = resolve_checks(args.checks)
+    except ValueError as e:
+        print(f"error: {e}", file=sys.stderr)
+        return 2
+
+    if args.corpus is not None:
+        from repro.synth.hostile import HOSTILE_PRESETS, hostile_binary
+
+        presets = tuple(args.presets) if args.presets else HOSTILE_PRESETS
+        binaries = [
+            hostile_binary(presets[i % len(presets)], seed=args.seed + i,
+                           n_functions=args.n_functions).binary
+            for i in range(args.corpus)]
+        subject = {"corpus": {"count": args.corpus, "seed": args.seed,
+                              "presets": list(presets),
+                              "n_functions": args.n_functions}}
+    elif args.workload:
+        binary, _ = _load_workload(args.workload, args.scale)
+        binaries = [binary]
+        subject = {"workload": args.workload, "scale": args.scale}
+    else:
+        print("error: give a workload or --corpus N", file=sys.stderr)
+        return 2
+
+    findings: list[dict] = []
+    stats = {"binaries": len(binaries), "functions": 0, "call_edges": 0,
+             "sccs": 0, "waves": 0, "rounds": 0}
+    for binary in binaries:
+        cfg = parse_binary(binary, _make_rt(args))
+        # Runtime.run is single-use: analysis gets its own fresh runtime.
+        res = run_checkers(cfg, checks, rt=_make_rt(args),
+                           binary=binary.name)
+        findings.extend(res.findings)
+        for k in ("functions", "call_edges", "sccs", "waves", "rounds"):
+            stats[k] += res.stats[k]
+
+    doc = findings_document("checkers", list(checks), findings,
+                            subject=subject)
+    errors = validate_findings(doc)
+    if errors:
+        raise RuntimeError(f"findings document is invalid: {errors}")
+    if args.json:
+        write_findings(args.json, doc)
+        print(f"findings written to {args.json}", file=sys.stderr)
+    print(json.dumps({
+        "backend": args.runtime,
+        "checks": list(checks),
+        **stats,
+        "findings": doc["summary"]["findings"],
+        "by_rule": doc["summary"]["by_rule"],
+    }, indent=2))
+    return 0
 
 
 def cmd_fuzz(args) -> int:
@@ -459,15 +541,33 @@ def cmd_corpus(args) -> int:
 
 
 def cmd_lint(args) -> int:
-    from repro.sanity.lint import run_lint
+    from repro.sanity.lint import LINT_RULES, run_lint
 
     findings = run_lint(paths=args.paths or None)
-    if args.json:
-        print(json.dumps([
-            {"path": f.path, "line": f.line, "rule": f.rule,
-             "message": f.message}
-            for f in findings
-        ], indent=2))
+    if args.json is not None:
+        from repro.analyses.findings import (
+            canonical_bytes,
+            finding,
+            findings_document,
+        )
+        from repro.runtime.tracefmt import validate_findings
+
+        doc = findings_document(
+            "lint", list(LINT_RULES),
+            [finding(f.rule, f.message, path=f.path, line=f.line)
+             for f in findings],
+            subject={"paths": list(args.paths) if args.paths else None})
+        errors = validate_findings(doc)
+        if errors:
+            raise RuntimeError(f"findings document is invalid: {errors}")
+        text = canonical_bytes(doc).decode()
+        if args.json == "-":
+            print(text, end="")
+        else:
+            with open(args.json, "w") as f:
+                f.write(text)
+            print(f"lint findings written to {args.json}",
+                  file=sys.stderr)
     else:
         for f in findings:
             print(f"{f.path}:{f.line}: {f.rule}: {f.message}")
@@ -523,10 +623,39 @@ def build_parser() -> argparse.ArgumentParser:
                          "workload (e.g. counter-racy) instead of the "
                          "corpus")
     cp.add_argument("--json", metavar="PATH",
-                    help="races only: also write the repro.races/1 "
-                         "report to this path")
+                    help="with --races: write the repro.races/1 report "
+                         "to this path; otherwise write the ground-"
+                         "truth repro.findings/1 sidecar")
     _add_runtime_args(cp)
     cp.set_defaults(fn=cmd_check)
+
+    ap = sub.add_parser(
+        "analyze",
+        help="parallel interprocedural checkers (findings sidecar)")
+    ap.add_argument("workload", nargs="?", default=None,
+                    help="preset name or .sbin path (alternative to "
+                         "--corpus)")
+    ap.add_argument("--corpus", type=int, default=None, metavar="N",
+                    help="analyze a seeded hostile corpus of N binaries "
+                         "instead of one workload; binary i is a pure "
+                         "function of (seed, i)")
+    ap.add_argument("--seed", type=int, default=0,
+                    help="corpus master seed (default 0)")
+    ap.add_argument("--preset", action="append", dest="presets",
+                    metavar="NAME",
+                    help="corpus only: hostile preset to round-robin "
+                         "through (repeatable; default: all presets)")
+    ap.add_argument("--n-functions", type=int, default=None,
+                    help="corpus only: override the per-binary function "
+                         "count")
+    ap.add_argument("--checks", default="all",
+                    help="comma-separated check names, or 'all' "
+                         "(default)")
+    ap.add_argument("--json", metavar="PATH",
+                    help="write the repro.findings/1 sidecar to this "
+                         "path (canonical bytes, backend-independent)")
+    _add_runtime_args(ap)
+    ap.set_defaults(fn=cmd_analyze)
 
     fz = sub.add_parser(
         "fuzz", help="seeded differential-fuzzing campaign")
@@ -622,8 +751,10 @@ def build_parser() -> argparse.ArgumentParser:
     lp.add_argument("paths", nargs="*",
                     help="files or directories to lint "
                          "(default: the repro source tree)")
-    lp.add_argument("--json", action="store_true",
-                    help="emit findings as JSON")
+    lp.add_argument("--json", nargs="?", const="-", default=None,
+                    metavar="PATH",
+                    help="emit a repro.findings/1 document (to PATH, "
+                         "or stdout when no path is given)")
     lp.set_defaults(fn=cmd_lint)
 
     tp = sub.add_parser(

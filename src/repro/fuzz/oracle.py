@@ -3,7 +3,8 @@
 An axis is one way of running the parser end to end — a backend
 (serial / vtime / threads / procs), a procs resilience configuration
 (fault plan, shm transport fallback), or a sanity analysis (cfgsan
-invariants, race-detection sweep).  The oracle runs a binary through
+invariants, race-detection sweep, findings-sidecar byte determinism
+of the interprocedural checkers).  The oracle runs a binary through
 every axis and compares :meth:`ParsedCFG.signature` digests
 byte-for-byte against the first (serial) axis; signature axes must
 match exactly, check axes must report zero findings.
@@ -112,10 +113,45 @@ def _races_check(seed: int, schedules: int, n_workers: int
     return run
 
 
+def _checkers_check(workers: int, procs_workers: int, procs_inline: bool
+                    ) -> Callable[[LoadedBinary], list[dict]]:
+    """Findings-sidecar determinism axis: the full analyze pipeline
+    (parse + interprocedural checkers) must produce byte-identical
+    ``repro.findings/1`` canonical bytes on every backend."""
+    from repro.analyses.checkers import ALL_CHECKS
+    from repro.analyses.findings import canonical_bytes, findings_document
+    from repro.analyses.interproc import run_checkers
+    from repro.runtime import ProcsRuntime, SerialRuntime, ThreadRuntime
+
+    def one(binary: LoadedBinary, make_rt: Callable[[], Any]) -> bytes:
+        cfg = parse_binary(binary, make_rt())
+        res = run_checkers(cfg, "all", rt=make_rt(),
+                           binary=getattr(binary, "name", None))
+        doc = findings_document("checkers", list(ALL_CHECKS),
+                                res.findings)
+        return canonical_bytes(doc)
+
+    def run(binary: LoadedBinary) -> list[dict]:
+        ref = one(binary, SerialRuntime)
+        out: list[dict] = []
+        for name, make_rt in (
+                ("threads", lambda: ThreadRuntime(workers)),
+                ("procs", lambda: ProcsRuntime(
+                    procs_workers, in_process=procs_inline))):
+            got = one(binary, make_rt)
+            if got != ref:
+                out.append({"check": "checkers", "backend": name,
+                            "detail": "findings sidecar diverged from "
+                                      "the serial reference bytes"})
+        return out
+    return run
+
+
 def default_axes(*, workers: int = 4, procs_workers: int = 2,
                  procs_inline: bool = True, include_faults: bool = True,
                  include_shm: bool = False, race_seed: int = 0,
-                 race_schedules: int = 2, race_workers: int = 4
+                 race_schedules: int = 2, race_workers: int = 4,
+                 include_checkers: bool = True
                  ) -> list[OracleAxis]:
     """The standard axis battery.  The first axis is the reference.
 
@@ -167,6 +203,10 @@ def default_axes(*, workers: int = 4, procs_workers: int = 2,
     axes.append(OracleAxis(
         "races", "check",
         _races_check(race_seed, race_schedules, race_workers)))
+    if include_checkers:
+        axes.append(OracleAxis(
+            "checkers", "check",
+            _checkers_check(workers, procs_workers, procs_inline)))
     return axes
 
 

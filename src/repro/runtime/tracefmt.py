@@ -690,6 +690,107 @@ def validate_corpus_report(obj: Any) -> list[str]:
     return errs
 
 
+def validate_findings(obj: Any) -> list[str]:
+    """Check a findings sidecar against ``repro.findings/1``.
+
+    The document is produced by the interprocedural checkers
+    (``repro analyze --json``), the ground-truth corpus checker
+    (``repro check --json``) and the static lint (``repro lint
+    --json``) — one shared format, one validator.  Beyond field
+    shapes, this enforces the determinism contract: findings must be
+    in canonical sort order and must carry no backend/worker metadata
+    (the byte form is pinned across backends).  Returns a list of
+    human-readable problems; empty means valid.
+    """
+    from repro.analyses.findings import (
+        FINDING_FIELDS,
+        FINDINGS_GENERATORS,
+        FINDINGS_SCHEMA,
+        finding_sort_key,
+    )
+
+    errs: list[str] = []
+
+    def expect(cond: bool, msg: str) -> bool:
+        if not cond:
+            errs.append(msg)
+        return cond
+
+    def is_int(v: Any) -> bool:
+        return isinstance(v, int) and not isinstance(v, bool)
+
+    if not expect(isinstance(obj, dict), "findings doc is not an object"):
+        return errs
+    expect(obj.get("schema") == FINDINGS_SCHEMA,
+           f"schema is {obj.get('schema')!r}, want {FINDINGS_SCHEMA!r}")
+    expect(obj.get("generator") in FINDINGS_GENERATORS,
+           f"generator is {obj.get('generator')!r}, want one of "
+           f"{FINDINGS_GENERATORS!r}")
+    for banned in ("backend", "workers", "n_workers", "runtime"):
+        expect(banned not in obj,
+               f"{banned!r} must not appear in a findings doc (the "
+               f"byte form is backend-independent)")
+    checks = obj.get("checks")
+    if expect(isinstance(checks, list) and checks
+              and all(isinstance(c, str) for c in checks),
+              "checks must be a non-empty string list"):
+        expect(checks == sorted(checks), "checks must be sorted")
+    else:
+        checks = []
+    expect(isinstance(obj.get("subject"), dict),
+           "subject must be an object")
+
+    findings = obj.get("findings")
+    if not expect(isinstance(findings, list), "findings must be a list"):
+        return errs
+    by_rule: dict[str, int] = {}
+    for i, f in enumerate(findings):
+        if not expect(isinstance(f, dict),
+                      f"findings[{i}] must be an object"):
+            continue
+        expect(sorted(f) == sorted(FINDING_FIELDS),
+               f"findings[{i}]: fields must be exactly "
+               f"{sorted(FINDING_FIELDS)}")
+        rule = f.get("rule")
+        if expect(isinstance(rule, str),
+                  f"findings[{i}]: rule must be a string"):
+            expect(rule in checks,
+                   f"findings[{i}]: rule {rule!r} not in checks")
+            by_rule[rule] = by_rule.get(rule, 0) + 1
+        expect(isinstance(f.get("detail"), str),
+               f"findings[{i}]: detail must be a string")
+        for k in ("binary", "function", "path"):
+            v = f.get(k)
+            expect(v is None or isinstance(v, str),
+                   f"findings[{i}]: {k} must be string|null")
+        for k in ("address", "line"):
+            v = f.get(k)
+            expect(v is None or is_int(v),
+                   f"findings[{i}]: {k} must be int|null")
+    if all(isinstance(f, dict) for f in findings):
+        try:
+            ordered = all(
+                finding_sort_key(findings[i]) <= finding_sort_key(
+                    findings[i + 1])
+                for i in range(len(findings) - 1))
+        except TypeError:
+            ordered = False
+        expect(ordered, "findings must be in canonical sort order")
+
+    summary = obj.get("summary")
+    if expect(isinstance(summary, dict), "summary must be an object"):
+        expect(summary.get("findings") == len(findings),
+               f"summary.findings is {summary.get('findings')!r}, "
+               f"want {len(findings)}")
+        sbr = summary.get("by_rule")
+        if expect(isinstance(sbr, dict),
+                  "summary.by_rule must be an object"):
+            expect(sbr == by_rule,
+                   f"summary.by_rule {sbr!r} does not match the "
+                   f"findings (want {by_rule!r})")
+    return errs
+
+
 def validate_report(obj: Any) -> list[str]:
     """Check a run report against the documented schema.
 

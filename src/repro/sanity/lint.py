@@ -52,6 +52,10 @@ _NONDET_IMPORTS = {
 
 _PRAGMA = re.compile(r"#\s*sanity:\s*allow\(([a-z\-,\s]+)\)")
 
+#: Every rule this lint can emit (the ``checks`` list of the
+#: ``repro.findings/1`` document ``repro lint --json`` writes).
+LINT_RULES = ("bare-mutation", "unsync-iteration", "wall-clock")
+
 
 @dataclass(frozen=True)
 class LintFinding:
@@ -280,8 +284,10 @@ class _FileLinter(ast.NodeVisitor):
 
 #: Modules that execute on worker code paths (tasks / shard workers),
 #: where the determinism rule applies.  Everything under core/ runs
-#: inside parse tasks; conchash is on every map operation's path.
-_WORKER_PATH_PARTS = ("core", "conchash.py")
+#: inside parse tasks; conchash is on every map operation's path;
+#: everything under analyses/ runs inside SCC units shipped to the
+#: procs pool (the findings sidecar is byte-pinned across backends).
+_WORKER_PATH_PARTS = ("core", "conchash.py", "analyses")
 
 
 def _is_worker_path(rel_path: str) -> bool:

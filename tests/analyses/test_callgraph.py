@@ -1,0 +1,159 @@
+"""Call graph, Tarjan SCCs, and bottom-up condensation waves."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analyses.callgraph import (
+    build_call_graph,
+    condensation_waves,
+    tarjan_sccs,
+)
+from repro.core import parse_binary
+from repro.isa import Cond, Reg
+from repro.runtime import SerialRuntime
+from repro.synth import tiny_binary
+from repro.synth.asm import L
+from tests.core.test_parallel_parser import make_binary
+
+
+def _layered_binary():
+    """main -> mid -> leaf, main -> leaf, plus a mutual pair f <-> g."""
+    def build(a):
+        a.label("main")
+        a.call(L("mid"))
+        a.call(L("leaf"))
+        a.ret()
+        a.label("mid")
+        a.call(L("leaf"))
+        a.ret()
+        a.label("leaf")
+        a.mov_ri(Reg.R0, 1)
+        a.ret()
+        a.label("f")
+        a.cmp_ri(Reg.R1, 0)
+        a.jcc(Cond.EQ, L("f_out"))
+        a.call(L("g"))
+        a.label("f_out")
+        a.ret()
+        a.label("g")
+        a.cmp_ri(Reg.R1, 1)
+        a.jcc(Cond.EQ, L("g_out"))
+        a.call(L("f"))
+        a.label("g_out")
+        a.ret()
+
+    symbols = {n: n for n in ("main", "mid", "leaf", "f", "g")}
+    return make_binary(build, symbols)
+
+
+@pytest.fixture(scope="module")
+def layered():
+    binary, labels = _layered_binary()
+    cfg = parse_binary(binary, SerialRuntime())
+    return cfg, labels
+
+
+class TestBuild:
+    def test_edges_and_names(self, layered):
+        cfg, lab = layered
+        g = build_call_graph(cfg)
+        assert g.entries == tuple(sorted(lab[n] for n in
+                                         ("main", "mid", "leaf", "f", "g")))
+        assert g.callees[lab["main"]] == (lab["mid"], lab["leaf"])
+        assert g.callees[lab["mid"]] == (lab["leaf"],)
+        assert g.callees[lab["leaf"]] == ()
+        assert g.callees[lab["f"]] == (lab["g"],)
+        assert g.callees[lab["g"]] == (lab["f"],)
+        assert g.callers[lab["leaf"]] == tuple(sorted(
+            (lab["main"], lab["mid"])))
+        assert g.names[lab["main"]] == "main"
+        assert g.n_edges == 5
+        assert sum(g.unresolved.values()) == 0
+
+    def test_sites_are_sorted_and_attributed(self, layered):
+        cfg, lab = layered
+        g = build_call_graph(cfg)
+        keys = [(s.caller, s.site, s.callee) for s in g.sites]
+        assert keys == sorted(keys)
+        assert all(s.kind in ("call", "tailcall") for s in g.sites)
+
+    def test_tiny_corpus_graph_is_consistent(self):
+        sb = tiny_binary()
+        cfg = parse_binary(sb.binary, SerialRuntime())
+        g = build_call_graph(cfg)
+        entry_set = set(g.entries)
+        for e, cs in g.callees.items():
+            assert e in entry_set
+            for c in cs:
+                assert c in entry_set
+                assert e in g.callers[c]
+
+
+class TestSccs:
+    def test_mutual_recursion_is_one_scc(self, layered):
+        cfg, lab = layered
+        g = build_call_graph(cfg)
+        sccs = tarjan_sccs(g)
+        comps = {c for c in sccs if len(c) > 1}
+        assert comps == {tuple(sorted((lab["f"], lab["g"])))}
+        # Every entry appears in exactly one SCC.
+        flat = [e for c in sccs for e in c]
+        assert sorted(flat) == list(g.entries)
+        # Canonical order: by smallest member.
+        assert [c[0] for c in sccs] == sorted(c[0] for c in sccs)
+
+    def test_self_loop_free_functions_are_singletons(self, layered):
+        cfg, lab = layered
+        sccs = tarjan_sccs(build_call_graph(cfg))
+        singles = {c[0] for c in sccs if len(c) == 1}
+        assert {lab["main"], lab["mid"], lab["leaf"]} <= singles
+
+    def test_deep_chain_does_not_recurse(self):
+        """The iterative Tarjan survives a call chain far beyond any
+        recursion limit a recursive formulation would tolerate."""
+        from repro.analyses.callgraph import CallGraph
+
+        n = 5000
+        callees = {i: ((i + 1,) if i + 1 < n else ()) for i in range(n)}
+        callers = {i: ((i - 1,) if i > 0 else ()) for i in range(n)}
+        g = CallGraph(entries=tuple(range(n)),
+                      names={i: f"f{i}" for i in range(n)},
+                      callees=callees, callers=callers, sites=(),
+                      unresolved={})
+        sccs = tarjan_sccs(g)
+        assert len(sccs) == n
+        sccs2, waves = condensation_waves(g, sccs)
+        assert len(waves) == n
+        assert [sccs2[w[0]][0] for w in waves] == list(reversed(range(n)))
+
+
+class TestWaves:
+    def test_callees_land_in_earlier_waves(self, layered):
+        cfg, lab = layered
+        g = build_call_graph(cfg)
+        sccs, waves = condensation_waves(g)
+        wave_of = {}
+        for wi, wave in enumerate(waves):
+            for i in wave:
+                for e in sccs[i]:
+                    wave_of[e] = wi
+        for caller, callees in g.callees.items():
+            for callee in callees:
+                if wave_of[callee] == wave_of[caller]:
+                    # Same wave only inside one SCC (the mutual pair).
+                    assert {caller, callee} <= set(
+                        sccs[next(i for i in waves[wave_of[caller]]
+                                  if caller in sccs[i])])
+                else:
+                    assert wave_of[callee] < wave_of[caller]
+        assert wave_of[lab["leaf"]] < wave_of[lab["mid"]]
+        assert wave_of[lab["mid"]] < wave_of[lab["main"]]
+        assert wave_of[lab["f"]] == wave_of[lab["g"]]
+
+    def test_waves_partition_the_sccs(self, layered):
+        cfg, _ = layered
+        sccs, waves = condensation_waves(build_call_graph(cfg))
+        flat = [i for w in waves for i in w]
+        assert sorted(flat) == list(range(len(sccs)))
+        assert all(w == sorted(w) for w in waves)

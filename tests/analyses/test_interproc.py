@@ -1,0 +1,138 @@
+"""Interprocedural scheduler: units, fixpoint, backends, metrics."""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.analyses.findings import canonical_bytes, findings_document
+from repro.analyses.interproc import (
+    FuncUnit,
+    SCCUnit,
+    analyze_unit,
+    run_checkers,
+    snapshot_function,
+)
+from repro.core import parse_binary
+from repro.runtime import (
+    ProcsRuntime,
+    SerialRuntime,
+    ThreadRuntime,
+    VirtualTimeRuntime,
+)
+from repro.synth import hostile_binary, tiny_binary
+
+
+@pytest.fixture(scope="module")
+def tiny_cfg():
+    return parse_binary(tiny_binary().binary, SerialRuntime())
+
+
+class TestUnits:
+    def test_snapshot_is_picklable_and_self_contained(self, tiny_cfg):
+        from repro.analyses.callgraph import build_call_graph
+
+        graph = build_call_graph(tiny_cfg)
+        jt_by_block = {}
+        for jt in tiny_cfg.jump_tables:
+            jt_by_block.setdefault(jt.block_start, []).append(jt)
+        func = max(tiny_cfg.functions(), key=lambda f: len(f.blocks))
+        unit = snapshot_function(func, set(graph.entries), jt_by_block)
+        clone = pickle.loads(pickle.dumps(unit))
+        assert clone == unit
+        view = clone.materialize()
+        assert view.entry == func.addr
+        assert len(view.func.blocks) == sum(
+            1 for b in func.blocks if not b.is_empty)
+
+    def test_materialize_rebuilds_edges_both_ways(self, tiny_cfg):
+        func = max(tiny_cfg.functions(), key=lambda f: len(f.blocks))
+        unit = snapshot_function(func, {f.addr for f in
+                                        tiny_cfg.functions()}, {})
+        view = unit.materialize()
+        for b in view.func.blocks:
+            for e in b.out_edges:
+                assert e in e.dst.in_edges
+
+    def test_analyze_unit_is_pure(self, tiny_cfg):
+        func = next(iter(tiny_cfg.functions()))
+        fu = snapshot_function(func, {f.addr for f in
+                                      tiny_cfg.functions()}, {})
+        unit = SCCUnit(index=0, funcs=(fu,),
+                       checks=("stack-balance", "uninit-reg"),
+                       external={})
+        a = analyze_unit(unit)
+        b = analyze_unit(pickle.loads(pickle.dumps(unit)))
+        assert a == b
+        assert a["rounds"] >= 1
+
+
+class TestScheduleIndependence:
+    def _bytes(self, binary, rt):
+        cfg = parse_binary(binary, SerialRuntime())
+        res = run_checkers(cfg, "all", rt=rt, binary=binary.name)
+        doc = findings_document("checkers", list(res.summaries), res.findings)
+        return canonical_bytes(doc)
+
+    @pytest.mark.parametrize("preset,seed", [("jt-overapprox", 5),
+                                             ("hostile-all", 9)], ids=str)
+    def test_backends_agree_byte_for_byte(self, preset, seed):
+        binary = hostile_binary(preset, seed=seed, n_functions=14).binary
+        ref = self._bytes(binary, None)
+        for rt in (SerialRuntime(), VirtualTimeRuntime(4),
+                   ThreadRuntime(4), ProcsRuntime(2, in_process=True)):
+            assert self._bytes(binary, rt) == ref, type(rt).__name__
+
+    def test_worker_counts_agree_byte_for_byte(self):
+        binary = hostile_binary("hostile-all", seed=9, n_functions=14).binary
+        ref = self._bytes(binary, None)
+        for n in (1, 2, 4):
+            assert self._bytes(binary, VirtualTimeRuntime(n)) == ref, n
+            assert self._bytes(
+                binary, ProcsRuntime(n, in_process=True)) == ref, n
+
+
+class TestRun:
+    def test_stats_shape(self, tiny_cfg):
+        res = run_checkers(tiny_cfg, "all")
+        s = res.stats
+        assert s["functions"] == len(list(tiny_cfg.functions()))
+        assert s["sccs"] >= 1 and s["waves"] >= 1
+        assert s["rounds"] >= s["sccs"]  # every SCC iterates at least once
+        assert s["findings"] == len(res.findings)
+        assert s["pool_units"] == 0  # no procs pool in this run
+
+    def test_summaries_cover_every_entry_and_check(self, tiny_cfg):
+        res = run_checkers(tiny_cfg, "all")
+        entries = {f.addr for f in tiny_cfg.functions()}
+        for check, per_entry in res.summaries.items():
+            assert set(per_entry) == entries, check
+
+    def test_findings_are_sorted_and_attributed(self, tiny_cfg):
+        from repro.analyses.findings import finding_sort_key
+
+        res = run_checkers(tiny_cfg, "all", binary="tiny.bin")
+        keys = [finding_sort_key(f) for f in res.findings]
+        assert keys == sorted(keys)
+        assert all(f["binary"] == "tiny.bin" for f in res.findings)
+        assert all(f["function"] for f in res.findings)
+
+    def test_metrics_counters(self):
+        cfg = parse_binary(tiny_binary().binary, SerialRuntime())
+        rt = VirtualTimeRuntime(4)
+        res = run_checkers(cfg, "all", rt=rt)
+        m = rt.metrics
+        assert m.counter("analysis.functions") == res.stats["functions"]
+        assert m.counter("analysis.sccs") == res.stats["sccs"]
+        assert m.counter("analysis.waves") == res.stats["waves"]
+        assert m.counter("analysis.findings") == len(res.findings)
+        for f in res.findings:
+            assert m.counter(f"analysis.findings.{f['rule']}") >= 1
+        # Analysis work is on the virtual clock: phase + charge visible.
+        assert rt.makespan > 0
+
+    def test_check_subset_only_runs_those(self, tiny_cfg):
+        res = run_checkers(tiny_cfg, "jt-bounds")
+        assert list(res.summaries) == ["jt-bounds"]
+        assert all(f["rule"] == "jt-bounds" for f in res.findings)

@@ -1,0 +1,102 @@
+"""Worklist-order property: the dataflow fixpoint is visit-order blind.
+
+A monotone framework over a finite-height lattice has a unique least
+fixpoint; the worklist's seed order can only change *how fast* it is
+reached (``iterations``), never *what* is reached.  This battery pins
+that by re-solving real problems under seeded shuffles of the initial
+worklist via ``solve_dataflow(..., order_key=...)``.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.analyses.dataflow import (
+    DataflowProblem,
+    Direction,
+    solve_dataflow,
+)
+from repro.analyses.liveness import liveness
+from repro.core import parse_binary
+from repro.runtime import SerialRuntime
+from repro.synth import tiny_binary
+
+
+@pytest.fixture(scope="module")
+def funcs():
+    """A spread of real multi-block functions from the tiny corpus."""
+    cfg = parse_binary(tiny_binary().binary, SerialRuntime())
+    multi = [f for f in cfg.functions()
+             if sum(1 for b in f.blocks if not b.is_empty) >= 3]
+    assert len(multi) >= 3
+    return sorted(multi, key=lambda f: -len(f.blocks))[:5]
+
+
+def _shuffled_key(func, seed):
+    starts = [b.start for b in func.blocks]
+    random.Random(seed).shuffle(starts)
+    rank = {s: i for i, s in enumerate(starts)}
+    return lambda b: rank[b.start]
+
+
+def _must_defined_problem():
+    """Forward must-defined registers (bit vectors, meet = AND)."""
+    full = (1 << 19) - 1
+
+    def transfer(block, fact):
+        if fact is None:
+            return None
+        for insn in block.insns:
+            for r in insn.regs_written():
+                fact |= 1 << int(r)
+        return fact
+
+    return DataflowProblem(
+        direction=Direction.FORWARD, boundary=0, init=None,
+        meet=lambda a, b: b if a is None else (a if b is None else a & b),
+        transfer=transfer)
+
+
+class TestOrderIndependence:
+    def test_forward_fixpoint_is_order_blind(self, funcs):
+        for func in funcs:
+            ref = solve_dataflow(func, _must_defined_problem())
+            for seed in range(6):
+                got = solve_dataflow(func, _must_defined_problem(),
+                                     order_key=_shuffled_key(func, seed))
+                assert got.in_facts == ref.in_facts, (func.name, seed)
+                assert got.out_facts == ref.out_facts, (func.name, seed)
+
+    def test_backward_fixpoint_is_order_blind(self, funcs):
+        """Liveness (the backward client) under shuffled seed orders."""
+        for func in funcs:
+            ref = liveness(func)
+            for seed in range(4):
+                got = liveness(func,
+                               order_key=_shuffled_key(func, seed))
+                assert got.live_in == ref.live_in, (func.name, seed)
+                assert got.live_out == ref.live_out, (func.name, seed)
+
+    def test_iterations_may_differ_but_facts_never(self, funcs):
+        """The one thing order is allowed to change is the step count —
+        and on some shuffle of some function it really does."""
+        saw_different_iterations = False
+        for func in funcs:
+            ref = solve_dataflow(func, _must_defined_problem())
+            for seed in range(8):
+                got = solve_dataflow(func, _must_defined_problem(),
+                                     order_key=_shuffled_key(func, seed))
+                assert got.out_facts == ref.out_facts
+                if got.iterations != ref.iterations:
+                    saw_different_iterations = True
+        assert saw_different_iterations, \
+            "shuffles never changed the visit count - property untested"
+
+    def test_reverse_address_order_agrees(self, funcs):
+        func = funcs[0]
+        ref = solve_dataflow(func, _must_defined_problem())
+        got = solve_dataflow(func, _must_defined_problem(),
+                             order_key=lambda b: -b.start)
+        assert got.out_facts == ref.out_facts

@@ -154,3 +154,87 @@ class TestCliFuzz:
         with pytest.raises(ValueError, match="unknown preset"):
             main(["fuzz", "--runs", "1", "--preset", "bogus"])
         capsys.readouterr()
+
+
+class TestCliAnalyze:
+    def test_analyze_workload_writes_valid_sidecar(self, capsys, tmp_path):
+        from repro.runtime.tracefmt import validate_findings
+
+        path = tmp_path / "findings.json"
+        rc, out = run_cli(capsys, "analyze", "tiny", "--runtime", "serial",
+                          "--json", str(path))
+        assert rc == 0
+        assert out["backend"] == "serial"
+        assert out["checks"] == ["callee-saved", "jt-bounds",
+                                 "stack-balance", "uninit-reg"]
+        assert out["functions"] > 10 and out["waves"] >= 1
+        doc = json.loads(path.read_text())
+        assert validate_findings(doc) == []
+        assert doc["generator"] == "checkers"
+        assert doc["subject"]["workload"] == "tiny"
+        # The sidecar never records how it was produced.
+        assert "backend" not in doc and "workers" not in doc
+
+    def test_analyze_corpus_is_backend_independent(self, capsys, tmp_path):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        args = ["analyze", "--corpus", "3", "--seed", "11",
+                "--n-functions", "10", "--preset", "jt-overapprox"]
+        rc, _ = run_cli(capsys, *args, "--runtime", "serial",
+                        "--json", str(a))
+        assert rc == 0
+        rc, out = run_cli(capsys, *args, "--runtime", "threads",
+                          "--workers", "4", "--json", str(b))
+        assert rc == 0
+        assert a.read_bytes() == b.read_bytes()
+        assert out["findings"] > 0  # jt-overapprox is a true positive
+        assert out["by_rule"].get("jt-bounds", 0) > 0
+
+    def test_analyze_check_subset(self, capsys):
+        rc, out = run_cli(capsys, "analyze", "tiny", "--runtime", "serial",
+                          "--checks", "jt-bounds,stack-balance")
+        assert rc == 0
+        assert out["checks"] == ["jt-bounds", "stack-balance"]
+
+    def test_analyze_rejects_unknown_check(self, capsys):
+        rc = main(["analyze", "tiny", "--checks", "bogus"])
+        capsys.readouterr()
+        assert rc == 2
+
+    def test_analyze_requires_a_target(self, capsys):
+        rc = main(["analyze"])
+        capsys.readouterr()
+        assert rc == 2
+
+
+class TestCliFindingsSidecars:
+    def test_lint_json_is_a_findings_document(self, capsys, tmp_path):
+        from repro.runtime.tracefmt import validate_findings
+
+        path = tmp_path / "lint.json"
+        rc = main(["lint", "--json", str(path)])
+        capsys.readouterr()
+        assert rc == 0  # the tree lints clean
+        doc = json.loads(path.read_text())
+        assert validate_findings(doc) == []
+        assert doc["generator"] == "lint"
+        assert doc["checks"] == ["bare-mutation", "unsync-iteration",
+                                 "wall-clock"]
+        assert doc["findings"] == []
+
+    def test_lint_json_to_stdout(self, capsys):
+        rc, doc = run_cli(capsys, "lint", "--json")
+        assert rc == 0
+        assert doc["schema"] == "repro.findings/1"
+
+    def test_check_json_is_a_groundtruth_sidecar(self, capsys, tmp_path):
+        from repro.runtime.tracefmt import validate_findings
+
+        path = tmp_path / "gt.json"
+        rc, out = run_cli(capsys, "check", "--n-binaries", "2", "-j", "2",
+                          "--json", str(path))
+        assert rc == 0
+        doc = json.loads(path.read_text())
+        assert validate_findings(doc) == []
+        assert doc["generator"] == "groundtruth"
+        assert doc["summary"]["findings"] == sum(
+            out["by_category"].values())

@@ -48,7 +48,11 @@ class TestDefaultAxes:
         names = [a.name for a in axes]
         assert names == ["serial", "vtime", "threads", "procs",
                          "procs-no-partial", "procs-fault", "cfgsan",
-                         "races"]
+                         "races", "checkers"]
+
+    def test_checkers_axis_only_on_request(self):
+        names = [a.name for a in default_axes(include_checkers=False)]
+        assert "checkers" not in names
 
     def test_shm_axis_only_on_request(self):
         names = [a.name for a in default_axes(include_shm=True)]
@@ -62,7 +66,7 @@ class TestDefaultAxes:
         assert not res.diverged
         assert res.failing == [] and res.findings == {}
         assert set(res.digests.values()) == {res.reference_digest}
-        assert metrics.counter("fuzz.axes.runs") == 8
+        assert metrics.counter("fuzz.axes.runs") == 9
         assert metrics.counter("fuzz.divergences") == 0
 
 

@@ -205,6 +205,56 @@ def test_procs_worker_counts_agree(name, reference_signatures):
         assert got == reference_signatures[name], (name, n)
 
 
+#: Programs for the findings-sidecar battery: the analysis-relevant
+#: subset (jump tables for jt-bounds, shared error epilogues for
+#: stack-balance, dense call structure for the summary fixpoint).
+_FINDINGS_PROGRAMS = ("tiny", "jumptable-heavy", "noreturn-heavy")
+
+
+def _findings_bytes(binary, rt):
+    """Parse serially, analyze under ``rt``; canonical sidecar bytes."""
+    from repro.analyses import canonical_bytes, findings_document
+    from repro.analyses.interproc import run_checkers
+
+    cfg = parse_binary(binary, SerialRuntime())
+    res = run_checkers(cfg, "all", rt=rt, binary=binary.name)
+    doc = findings_document("checkers", list(res.summaries), res.findings)
+    return canonical_bytes(doc)
+
+
+@pytest.fixture(scope="module")
+def reference_findings():
+    """Inline (no runtime) sidecar bytes per program — the baseline."""
+    return {name: _findings_bytes(_PROGRAMS[name].binary, None)
+            for name in _FINDINGS_PROGRAMS}
+
+
+@pytest.mark.parametrize("name", _FINDINGS_PROGRAMS, ids=str)
+def test_findings_sidecar_matches_across_backends(name,
+                                                  reference_findings):
+    """The analyze pipeline's own headline property: the findings
+    sidecar is byte-identical on every backend."""
+    sb = _PROGRAMS[name]
+    for rt in (SerialRuntime(), VirtualTimeRuntime(4), ThreadRuntime(4),
+               ProcsRuntime(PROCS_WORKERS, in_process=PROCS_INLINE)):
+        got = _findings_bytes(sb.binary, rt)
+        assert got == reference_findings[name], (name,
+                                                 type(rt).__name__)
+
+
+@pytest.mark.parametrize("name", ["jumptable-heavy"], ids=str)
+def test_findings_sidecar_matches_across_worker_counts(
+        name, reference_findings):
+    """SCC-wave fan-out geometry must not leak into the sidecar: 1, 2
+    and 4 workers reproduce the inline bytes exactly."""
+    sb = _PROGRAMS[name]
+    for n in (1, 2, 4):
+        for rt in (ThreadRuntime(n), ProcsRuntime(n, in_process=True)):
+            got = _findings_bytes(sb.binary, rt)
+            assert got == reference_findings[name], (name, n,
+                                                     type(rt).__name__)
+
+
 def test_procs_no_partial_finalize_matches_serial(reference_signatures,
                                                   monkeypatch):
     """``REPRO_NO_PARTIAL_FINALIZE=1`` is the degraded rung for the
